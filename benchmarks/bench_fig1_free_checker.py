@@ -1,0 +1,31 @@
+"""Figure 1: the free checker -- compile the metal text and execute it.
+
+Regenerates: the checker of Fig. 1 compiled from its printed source, and
+the two errors its execution over Fig. 2 must find.
+"""
+
+from conftest import analyze, fig2_code  # noqa: F401
+
+from repro.checkers import FREE_CHECKER_SOURCE
+from repro.metal import compile_metal
+
+
+def test_fig1_compile(benchmark):
+    ext = benchmark(compile_metal, FREE_CHECKER_SOURCE)
+    assert ext.name == "free_checker"
+    assert len(ext.transitions) == 3
+    print("\nFig. 1 checker: %d transitions, states %s / v.%s" % (
+        len(ext.transitions), ext.global_states, ext.specific_states))
+
+
+def test_fig1_execute(benchmark, fig2_code):
+    ext = compile_metal(FREE_CHECKER_SOURCE)
+
+    def run():
+        result, __ = analyze(fig2_code, ext, filename="fig2.c")
+        return result
+
+    result = benchmark(run)
+    lines = sorted(r.location.line for r in result.reports)
+    print("\nFig. 1 on Fig. 2 -> errors at lines %s (paper: 12 and 17)" % lines)
+    assert lines == [12, 17]

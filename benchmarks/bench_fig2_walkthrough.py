@@ -1,0 +1,51 @@
+"""Figure 2 / §2.2: the complete walkthrough as a benchmark.
+
+Regenerates every observable the paper's twelve-step trace commits to:
+errors at lines 12 and 17, safety of line 11, two executable paths through
+``contrived`` (the other two pruned), the q synonym, the p kill, and the
+union of exit instances {p, w}.
+"""
+
+from conftest import analyze, fig2_code  # noqa: F401
+
+from repro.checkers import free_checker
+from repro.engine.analysis import AnalysisOptions
+
+
+def test_fig2_full_walkthrough(benchmark, fig2_code):
+    def run():
+        return analyze(fig2_code, free_checker(), filename="fig2.c")
+
+    result, analysis = benchmark(run)
+    by_line = {r.location.line: r.message for r in result.reports}
+
+    print("\n§2.2 walkthrough observables:")
+    print("  errors: %s" % sorted(by_line.items()))
+    print("  paths completed: %d (2 through contrived + 1 caller suffix)"
+          % result.stats["paths_completed"])
+
+    assert by_line == {
+        12: "using q after free!",
+        17: "using w after free!",
+    }
+    assert result.stats["paths_completed"] == 3
+
+    q_report = next(r for r in result.reports if r.location.line == 12)
+    assert q_report.synonym_chain == 1  # step 6: transparent q instance
+    assert q_report.origin_location.line == 15
+
+
+def test_fig2_without_pruning_shows_line_11_fp(benchmark, fig2_code):
+    def run():
+        return analyze(
+            fig2_code,
+            free_checker(),
+            options=AnalysisOptions(false_path_pruning=False),
+            filename="fig2.c",
+        )
+
+    result, __ = benchmark(run)
+    lines = sorted(r.location.line for r in result.reports)
+    print("\nwithout §8 pruning -> errors at %s (line 11 is the documented "
+          "false positive)" % lines)
+    assert 11 in lines

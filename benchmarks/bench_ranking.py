@@ -1,0 +1,172 @@
+"""§9 ranking: generic criteria, severity stratification, statistical
+rule ranking (the "fifty errors per hundred callsites" anecdote), and
+code ranking for lock wrappers.
+"""
+
+import random
+
+from repro.cfront.parser import parse
+from repro.checkers import free_checker, lock_checker
+from repro.codegen.generator import generate_wrapper_module
+from repro.driver.project import Project
+from repro.engine.analysis import Analysis
+from repro.ranking import (
+    generic_rank,
+    rank_by_rule_reliability,
+    rank_functions_by_code,
+    stratify,
+)
+from repro.ranking.statistical import rule_reliability_table
+
+
+def _flaky_free_codebase(n_good=40, n_flagged=12, seed=3):
+    """The §9 statistical-ranking anecdote, synthesized.
+
+    ``kfree`` is a real deallocator: callers rarely touch the pointer
+    afterwards (a few genuine bugs).  ``maybe_free`` only frees depending
+    on its second argument, but a naive flow-insensitive list says it
+    always frees -- so 'errors' involving it fire about half the time.
+    The z-ranking must push the kfree reports to the top.
+    """
+    rng = random.Random(seed)
+    chunks = []
+    genuine = []
+    for i in range(n_good):
+        buggy = i % 13 == 5
+        use = "    return *p;\n" if buggy else "    return 0;\n"
+        if buggy:
+            genuine.append("good_%d" % i)
+        chunks.append(
+            "int good_%d(int *p) {\n    kfree(p);\n%s}\n" % (i, use)
+        )
+    for i in range(n_flagged):
+        # maybe_free modeled as a freeing function: every other caller
+        # "violates" the bogus always-frees rule.
+        use = "    return *p;\n" if i % 2 == 0 else "    return 0;\n"
+        chunks.append(
+            "int flagged_%d(int *p) {\n    maybe_free(p);\n%s}\n" % (i, use)
+        )
+    return "\n".join(chunks), genuine
+
+
+def test_statistical_ranking_pushes_real_errors_up(benchmark):
+    code, genuine = _flaky_free_codebase()
+    checker = free_checker(("kfree", "maybe_free"))
+
+    def run():
+        result = Analysis([parse(code, "flaky.c")]).run(checker)
+        ranked = rank_by_rule_reliability(result.reports, result.log)
+        return result, ranked
+
+    result, ranked = benchmark(run)
+    table = rule_reliability_table(result.log)
+
+    print("\nrule reliability (the §9 free-checker anecdote):")
+    for rule_id, examples, violations, z in table:
+        print("  %-12s e=%3d c=%3d z=%6.2f" % (rule_id, examples, violations, z))
+
+    kfree_positions = [
+        i for i, r in enumerate(ranked) if r.rule_id == "kfree"
+    ]
+    maybe_positions = [
+        i for i, r in enumerate(ranked) if r.rule_id == "maybe_free"
+    ]
+    print("  kfree report ranks: %s" % kfree_positions)
+    print("  maybe_free report ranks: %s" % maybe_positions)
+
+    # "all of the real errors went to the top and the errors caused by
+    # functions the analysis could not handle were pushed to the bottom."
+    assert max(kfree_positions) < min(maybe_positions)
+    z_by_rule = {row[0]: row[3] for row in table}
+    assert z_by_rule["kfree"] > z_by_rule["maybe_free"]
+
+
+def test_generic_ranking_orders_by_difficulty(benchmark):
+    code = (
+        "int local_near(int *p) { kfree(p); return *p; }\n"
+        "int local_far(int *p, int a, int b, int c) {\n"
+        "    kfree(p);\n"
+        "    if (a) a = 1;\n"
+        "    if (b) b = 2;\n"
+        "    if (c) c = 3;\n"
+        "    return *p;\n"
+        "}\n"
+        "int callee(int *p) { return *p; }\n"
+        "int interprocedural(int *p) { kfree(p); return callee(p); }\n"
+    )
+
+    def run():
+        result = Analysis([parse(code, "rank.c")]).run(free_checker())
+        return generic_rank(result.reports)
+
+    ranked = benchmark(run)
+    order = [r.function for r in ranked]
+    print("\ngeneric ranking order: %s" % order)
+    assert order.index("local_near") < order.index("local_far")
+    # the interprocedural report surfaces inside the callee, one call deep
+    assert order.index("local_far") < order.index("callee")
+
+
+def test_severity_stratification(benchmark):
+    from repro.checkers import range_check_checker, malloc_fail_checker
+
+    code = (
+        "int sec(int c) { int t[4]; int i = get_user_int(c); t[i] = 1;"
+        " return 0; }\n"
+        "int minor(int n) { int *p = kmalloc(n); *p = 1; return 0; }\n"
+    )
+
+    def run():
+        unit = parse(code, "sev.c")
+        analysis = Analysis([unit])
+        result = analysis.run([range_check_checker(), malloc_fail_checker()])
+        return stratify(result.reports)
+
+    ranked = benchmark(run)
+    severities = [r.severity for r in ranked]
+    print("\nseverity stratification: %s" % severities)
+    assert severities == ["SECURITY", "MINOR"]
+
+
+def test_code_ranking_for_lock_wrappers(benchmark):
+    # "The major source of false positives for this extension was wrapper
+    # functions that either always acquired or always released locks" --
+    # code ranking separates them from users with mostly-correct sections.
+    source, wrappers, real_bugs = generate_wrapper_module(seed=5, n_users=21)
+
+    def run():
+        from repro.engine.analysis import AnalysisOptions
+        from repro.cfront.unparse import unparse
+
+        project = Project()
+        project.compile_text(source, "wrap.c")
+        # Intraprocedural, every function a root: exactly the setting in
+        # which wrappers look broken every single time (§9).
+        analysis = project.analysis(AnalysisOptions(interprocedural=False))
+        result = analysis.run(lock_checker())
+
+        violations = {}
+        for report in result.reports:
+            violations[report.function] = violations.get(report.function, 0) + 1
+        counts = {}
+        for unit in project.units:
+            for fn in unit.functions():
+                text = unparse(fn)
+                acquire_sites = text.count("lock(") - text.count("unlock(")
+                c = violations.get(fn.name, 0)
+                e = max(0, acquire_sites - c)
+                counts[fn.name] = (e, c)
+        return counts
+
+    counts = benchmark(run)
+    rows = rank_functions_by_code(counts)
+    names = [row[0] for row in rows]
+    print("\ncode ranking (most-likely-real-bug first):")
+    for name, e, c, z in rows[:4]:
+        print("  %-16s e=%d c=%d z=%5.2f" % (name, e, c, z))
+    print("  ... wrappers at the bottom: %s" % names[-2:])
+    # the buggy users (many correct sections, one miss) rank above the
+    # wrappers (zero correct sections, flagged every time).
+    assert set(names[-2:]) == {"helper_acquire", "helper_release"}
+    for bug in real_bugs:
+        assert names.index(bug) < names.index("helper_acquire")

@@ -1,0 +1,91 @@
+"""Table 1: hole types and their meanings -- one assertion per row.
+
+====================  =======================================
+Hole Type             Matches
+====================  =======================================
+Any C type            any expression of that type
+any expr              any legal expression
+any scalar            any scalar value (int, float, etc.)
+any pointer           any pointer of any type
+any arguments         any argument list
+any fn call           any function call
+====================  =======================================
+"""
+
+from repro.cfront import types as ctypes
+from repro.cfront.parser import parse_expression
+from repro.metal import (
+    ANY_ARGUMENTS,
+    ANY_EXPR,
+    ANY_FN_CALL,
+    ANY_POINTER,
+    ANY_SCALAR,
+)
+from repro.metal.metatypes import ConcreteType
+from repro.metal.patterns import compile_pattern, match
+
+
+SCOPE = {
+    "n": ctypes.INT,
+    "f_val": ctypes.FLOAT,
+    "p": ctypes.PointerType(ctypes.INT),
+    "cp": ctypes.PointerType(ctypes.CHAR),
+    "rec": ctypes.RecordType("struct", "s"),
+}
+
+
+def expr(text):
+    return parse_expression(text, scope=SCOPE)
+
+
+def check_row(hole_type, accepted, rejected):
+    pattern = compile_pattern("sink(v)", {"v": hole_type})
+    for text in accepted:
+        assert match(pattern, expr("sink(%s)" % text)) is not None, (
+            "%s should accept %s" % (hole_type, text)
+        )
+    for text in rejected:
+        assert match(pattern, expr("sink(%s)" % text)) is None, (
+            "%s should reject %s" % (hole_type, text)
+        )
+
+
+def run_table():
+    rows = []
+    # Row: any C type -- any expression of that type
+    check_row(ConcreteType(ctypes.INT), ["n", "n + 1", "42"], ["f_val", "p"])
+    rows.append(("int (concrete)", "n, n+1, 42", "f_val, p"))
+    # Row: any expr -- any legal expression
+    check_row(ANY_EXPR, ["n", "p", "rec", "n + f_val"], [])
+    rows.append(("any expr", "everything", "-"))
+    # Row: any scalar
+    check_row(ANY_SCALAR, ["n", "f_val", "p"], ["rec"])
+    rows.append(("any scalar", "n, f_val, p", "rec (a struct)"))
+    # Row: any pointer
+    check_row(ANY_POINTER, ["p", "cp"], ["n", "f_val", "rec"])
+    rows.append(("any pointer", "p, cp", "n, f_val, rec"))
+    # Row: any arguments -- swallows a whole argument list
+    args_pattern = compile_pattern(
+        "sink(args)", {"args": ANY_ARGUMENTS}
+    )
+    assert match(args_pattern, expr("sink(n, p, 3)"))["args"] is not None
+    assert len(match(args_pattern, expr("sink(n, p, 3)"))["args"]) == 3
+    assert match(args_pattern, expr("sink()"))["args"] == []
+    rows.append(("any arguments", "(n, p, 3) and ()", "-"))
+    # Row: any fn call
+    call_pattern = compile_pattern(
+        "fn(args)", {"fn": ANY_FN_CALL, "args": ANY_ARGUMENTS}
+    )
+    assert match(call_pattern, expr("anything(1, 2)")) is not None
+    assert match(call_pattern, expr("n + 1")) is None
+    rows.append(("any fn call", "anything(1,2)", "n + 1"))
+    return rows
+
+
+def test_table1_hole_types(benchmark):
+    rows = benchmark(run_table)
+    print("\nTable 1 reproduction:")
+    print("  %-16s %-22s %s" % ("hole type", "matches", "rejects"))
+    for name, accepted, rejected in rows:
+        print("  %-16s %-22s %s" % (name, accepted, rejected))
+    assert len(rows) == 6

@@ -1,0 +1,91 @@
+"""Table 2: refine/restore semantics across a function call.
+
+Each row becomes two micro-programs: one where the state flows *into* the
+callee through the argument (refine) and one where the callee's effect
+flows *back* (restore).  The by-value/by-reference choice of row 1 is the
+engine option the table's last column describes.
+"""
+
+from conftest import analyze
+
+from repro.checkers import free_checker
+from repro.engine.analysis import AnalysisOptions
+
+ROWS = [
+    (
+        "xa / xf / state on xa (by reference)",
+        "void callee(int *xf) { kfree(xf); }\n"
+        "int caller(int *xa) { callee(xa); return *xa; }\n",
+        ["using xa after free!"],
+        None,
+    ),
+    (
+        "xa / xf / state on xa (by value)",
+        "void callee(int *xf) { kfree(xf); }\n"
+        "int caller(int *xa) { callee(xa); return *xa; }\n",
+        [],
+        AnalysisOptions(by_value_params=True),
+    ),
+    (
+        "&xa / xf / state on xa",
+        "void callee(int **xf) { kfree(*xf); }\n"
+        "int caller(int *xa) { callee(&xa); return *xa; }\n",
+        ["using xa after free!"],
+        None,
+    ),
+    (
+        "xa / xf / state on xa.field",
+        "struct s { int *field; };\n"
+        "void callee(struct s xf) { kfree(xf.field); }\n"
+        "int caller(struct s xa) { callee(xa); return *xa.field; }\n",
+        ["using xa.field after free!"],
+        None,
+    ),
+    (
+        "xa / xf / state on xa->field",
+        "struct s { int *field; };\n"
+        "void callee(struct s *xf) { kfree(xf->field); }\n"
+        "int caller(struct s *xa) { callee(xa); return *xa->field; }\n",
+        ["using xa->field after free!"],
+        None,
+    ),
+    (
+        "xa / xf / state on *xa",
+        "void callee(int **xf) { kfree(*xf); }\n"
+        "int caller(int **xa) { callee(xa); return **xa; }\n",
+        ["using *xa after free!"],
+        None,
+    ),
+    (
+        "all levels of indirection (**p)",
+        "void callee(int ***xf) { kfree(**xf); }\n"
+        "int caller(int ***xa) { callee(xa); return ***xa; }\n",
+        ["using **xa after free!"],
+        None,
+    ),
+    (
+        "refine direction: state into the callee",
+        "int callee(int *xf) { return *xf; }\n"
+        "int caller(int *xa) { kfree(xa); return callee(xa); }\n",
+        ["using xf after free!"],
+        None,
+    ),
+]
+
+
+def run_all_rows():
+    outcomes = []
+    for label, code, expected, options in ROWS:
+        result, __ = analyze(code, free_checker(), options=options)
+        outcomes.append((label, sorted(r.message for r in result.reports), expected))
+    return outcomes
+
+
+def test_table2_rows(benchmark):
+    outcomes = benchmark(run_all_rows)
+    print("\nTable 2 reproduction (refine/restore across calls):")
+    for label, got, expected in outcomes:
+        status = "ok" if got == sorted(expected) else "MISMATCH"
+        print("  [%-8s] %-42s -> %s" % (status, label, got or "(clean)"))
+    for label, got, expected in outcomes:
+        assert got == sorted(expected), label

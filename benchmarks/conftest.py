@@ -1,0 +1,42 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the rows/series it regenerates (run with ``-s`` to
+see them) and asserts the *shape* the paper reports; absolute timings are
+whatever pytest-benchmark measures on the host.
+"""
+
+import pytest
+
+from repro.cfront.parser import parse
+from repro.engine.analysis import Analysis, AnalysisOptions
+
+
+def analyze(code, extension, options=None, filename="bench.c", roots=None):
+    unit = parse(code, filename)
+    analysis = Analysis([unit], options=options or AnalysisOptions())
+    result = analysis.run(extension, roots=roots)
+    return result, analysis
+
+
+@pytest.fixture
+def fig2_code():
+    return (
+        "int contrived(int *p, int *w, int x) {\n"
+        "    int *q;\n"
+        "\n"
+        "    if(x)\n"
+        "    {\n"
+        "        kfree(w);\n"
+        "        q = p;\n"
+        "        p = 0;\n"
+        "    }\n"
+        "    if(!x)\n"
+        "        return *w;\n"
+        "    return *q;\n"
+        "}\n"
+        "int contrived_caller(int *w, int x, int *p) {\n"
+        "    kfree(p);\n"
+        "    contrived(p, w, x);\n"
+        "    return *w;\n"
+        "}\n"
+    )

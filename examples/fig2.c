@@ -1,0 +1,18 @@
+int contrived(int *p, int *w, int x) {
+    int *q;
+
+    if(x)
+    {
+        kfree(w);
+        q = p;
+        p = 0;
+    }
+    if(!x)
+        return *w;  /* safe */
+    return *q;      /* using 'q' after free! */
+}
+int contrived_caller(int *w, int x, int *p) {
+    kfree(p);
+    contrived(p, w, x);
+    return *w;      /* using 'w' after free! */
+}

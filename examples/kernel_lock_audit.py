@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Lock-discipline audit of a generated kernel module, with ranking.
+
+The scenario the paper's evaluation lived in: a big pile of kernel-style
+code, a lock checker, and more reports than anyone wants to read -- so the
+§9 ranking machinery orders them: severity classes first, then the generic
+distance/conditional criteria, and a statistical view of which rules (and
+which functions) to trust.
+
+Run:  python examples/kernel_lock_audit.py [seed]
+"""
+
+import sys
+
+from repro.checkers import free_checker, lock_checker, malloc_fail_checker
+from repro.codegen import generate_kernel_module
+from repro.driver.project import Project
+from repro.ranking import stratify
+from repro.ranking.generic import difficulty_score
+from repro.ranking.statistical import rule_reliability_table
+
+
+def main():
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2002
+    workload = generate_kernel_module(seed=seed, n_functions=42, bug_rate=0.45)
+    print("generated module: %d functions, %d injected bugs (seed=%d)\n"
+          % (len(workload.function_names), len(workload.bugs), seed))
+
+    project = Project()
+    project.compile_text(workload.source, "module.c")
+    result = project.run(
+        [
+            lock_checker(),
+            free_checker(("kfree", "vfree")),
+            malloc_fail_checker(),
+        ]
+    )
+
+    ranked = stratify(result.reports)
+    print("== ranked reports (inspect top-down) ==")
+    for index, report in enumerate(ranked, 1):
+        marker = "*" if any(b.function == report.function for b in workload.bugs) else " "
+        print(
+            "%2d.%s [%-8s] %-28s %s (difficulty %d)"
+            % (
+                index,
+                marker,
+                report.severity or "plain",
+                report.function,
+                report.message,
+                difficulty_score(report),
+            )
+        )
+
+    print("\n== rule reliability (z-statistic, §9) ==")
+    for rule_id, examples, violations, z in rule_reliability_table(result.log):
+        print(
+            "  %-14s followed %3d times, violated %2d  ->  z = %5.2f"
+            % (rule_id, examples, violations, z)
+        )
+
+    injected = {b.function for b in workload.bugs}
+    found = {r.function for r in result.reports}
+    checkable = {
+        b.function
+        for b in workload.bugs
+        if b.kind in ("missing-unlock", "double-lock", "use-after-free",
+                      "double-free", "unchecked-alloc")
+    }
+    print(
+        "\nscore: found %d/%d checkable injected bugs, %d reports total"
+        % (len(checkable & found), len(checkable), len(result.reports))
+    )
+
+
+if __name__ == "__main__":
+    main()

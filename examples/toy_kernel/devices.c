@@ -1,0 +1,58 @@
+/* Device lifetime management.
+ *
+ * Seeded bugs:
+ *   dev_destroy_twice : double free of dev->buf          (free)
+ *   dev_replace_buf   : use after free of the old buffer (free)
+ */
+#include "kernel.h"
+
+static struct device *device_list;
+
+struct device *dev_create(int id) {
+    struct device *dev = kmalloc(128);
+    if (!dev)
+        return 0;
+    dev->id = id;
+    dev->flags = 0;
+    dev->refcnt = 1;
+    dev->buf = kmalloc(RING_SIZE);
+    if (!dev->buf) {
+        kfree(dev);
+        return 0;
+    }
+    dev->next = device_list;
+    device_list = dev;
+    return dev;
+}
+
+void dev_destroy(struct device *dev) {
+    kfree(dev->buf);
+    kfree(dev);
+}
+
+void dev_destroy_twice(struct device *dev) {
+    kfree(dev->buf);
+    if (dev->flags & DEV_FLAG_DEAD)
+        kfree(dev->buf);            /* BUG: double free */
+    kfree(dev);
+}
+
+int dev_replace_buf(struct device *dev, int n) {
+    char *old = dev->buf;
+    kfree(old);
+    dev->buf = kmalloc(n);
+    if (!dev->buf) {
+        dev->buf = old;             /* BUG: resurrecting a freed buffer */
+        return old[0];              /* BUG: use after free */
+    }
+    return 0;
+}
+
+int dev_put(struct device *dev) {
+    dev->refcnt = dev->refcnt - 1;
+    if (dev->refcnt == 0) {
+        dev_destroy(dev);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/* Shared declarations for the toy kernel modules. */
+#ifndef TOY_KERNEL_H
+#define TOY_KERNEL_H
+
+#define MAX_DEVICES 16
+#define RING_SIZE   64
+#define EIO         5
+#define EINVAL      22
+
+#define DEV_FLAG_BUSY   1
+#define DEV_FLAG_DEAD   2
+
+struct spinlock { int raw; };
+
+struct device {
+    int id;
+    int flags;
+    int refcnt;
+    struct spinlock lck;
+    char *buf;
+    struct device *next;
+};
+
+struct ring {
+    int head;
+    int tail;
+    struct spinlock lck;
+    char *slots[RING_SIZE];
+};
+
+/* primitives the checkers know about */
+void lock(struct spinlock *l);
+void unlock(struct spinlock *l);
+int trylock(struct spinlock *l);
+void *kmalloc(int n);
+void kfree(void *p);
+int get_user_int(int cmd);
+char *get_user_ptr(int cmd);
+int copy_from_user(void *dst, void *src, int n);
+void panic(const char *msg);
+void printk(const char *fmt, ...);
+
+#endif

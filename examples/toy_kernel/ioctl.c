@@ -1,0 +1,50 @@
+/* The user-facing ioctl surface.
+ *
+ * Seeded bugs:
+ *   ioctl_set_slot  : unchecked user index into a fixed table (range)
+ *   ioctl_raw_write : raw dereference of a user pointer     (user-pointer)
+ */
+#include "kernel.h"
+
+static int config_table[MAX_DEVICES];
+
+int ioctl_get_config(int cmd) {
+    int idx = get_user_int(cmd);
+    if (idx >= MAX_DEVICES)
+        return -EINVAL;
+    return config_table[idx];
+}
+
+int ioctl_set_slot(int cmd, int value) {
+    int idx = get_user_int(cmd);
+    config_table[idx] = value;      /* BUG: idx is unchecked */
+    return 0;
+}
+
+int ioctl_safe_write(int cmd, struct device *dev) {
+    char tmp[RING_SIZE];
+    char *src = get_user_ptr(cmd);
+    if (copy_from_user(tmp, src, RING_SIZE))
+        return -EIO;
+    dev->buf[0] = tmp[0];
+    return 0;
+}
+
+int ioctl_raw_write(int cmd, struct device *dev) {
+    char *src = get_user_ptr(cmd);
+    dev->buf[0] = *src;             /* BUG: raw user pointer deref */
+    return 0;
+}
+
+int ioctl_dispatch(int cmd, struct device *dev) {
+    switch (cmd & 3) {
+    case 0:
+        return ioctl_get_config(cmd);
+    case 1:
+        return ioctl_set_slot(cmd, 1);
+    case 2:
+        return ioctl_safe_write(cmd, dev);
+    default:
+        return ioctl_raw_write(cmd, dev);
+    }
+}

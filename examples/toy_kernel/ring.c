@@ -1,0 +1,50 @@
+/* Ring buffer management.
+ *
+ * Seeded bugs (ground truth, asserted by tests/test_toy_kernel.py):
+ *   ring_push_noalloc : missing NULL check of kmalloc    (mallocfail)
+ *   ring_reset        : missing unlock on the early path (lock)
+ */
+#include "kernel.h"
+
+int ring_push(struct ring *r, int n) {
+    char *slot = kmalloc(n);
+    if (!slot)
+        return -EIO;
+    lock(&r->lck);
+    r->slots[r->head] = slot;
+    r->head = (r->head + 1) % RING_SIZE;
+    unlock(&r->lck);
+    return 0;
+}
+
+int ring_push_noalloc(struct ring *r, int n) {
+    char *slot = kmalloc(n);
+    slot[0] = 0;                    /* BUG: kmalloc may return NULL */
+    lock(&r->lck);
+    r->slots[r->head] = slot;
+    r->head = (r->head + 1) % RING_SIZE;
+    unlock(&r->lck);
+    return 0;
+}
+
+int ring_pop(struct ring *r, char **out) {
+    lock(&r->lck);
+    if (r->head == r->tail) {
+        unlock(&r->lck);
+        return -EINVAL;
+    }
+    *out = r->slots[r->tail];
+    r->tail = (r->tail + 1) % RING_SIZE;
+    unlock(&r->lck);
+    return 0;
+}
+
+int ring_reset(struct ring *r, int hard) {
+    lock(&r->lck);
+    if (hard && r->head != r->tail)
+        return -EINVAL;             /* BUG: lock still held */
+    r->head = 0;
+    r->tail = 0;
+    unlock(&r->lck);
+    return 0;
+}

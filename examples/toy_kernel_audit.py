@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Audit the toy kernel under examples/toy_kernel/ with the full checker
+suite -- the closest thing in this repository to the paper's "run fifty
+checkers over the kernel" workflow, complete with preprocessor includes,
+multiple translation units, file-scope statics, and severity ranking.
+
+Run:  python examples/toy_kernel_audit.py
+"""
+
+import glob
+import os
+
+from repro.checkers import (
+    free_checker,
+    lock_checker,
+    malloc_fail_checker,
+    range_check_checker,
+    user_pointer_checker,
+)
+from repro.driver.project import Project
+from repro.ranking import stratify
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TREE = os.path.join(HERE, "toy_kernel")
+
+#: the bugs seeded in the tree (see the file headers)
+GROUND_TRUTH = {
+    ("ring_push_noalloc", "malloc_fail_checker"),
+    ("ring_reset", "lock_checker"),
+    ("dev_destroy_twice", "free_checker"),
+    ("dev_replace_buf", "free_checker"),
+    ("ioctl_set_slot", "range_check_checker"),
+    ("ioctl_raw_write", "user_pointer_checker"),
+}
+
+
+def main():
+    project = Project(include_paths=[os.path.join(TREE, "include")])
+    for path in sorted(glob.glob(os.path.join(TREE, "*.c"))):
+        compiled = project.compile_text(open(path).read(), os.path.basename(path))
+        print("pass 1: %-12s %5d bytes -> %6d bytes AST (%.1fx)" % (
+            compiled.filename, compiled.source_bytes,
+            compiled.emitted_bytes, compiled.expansion_ratio))
+
+    result = project.run(
+        [
+            free_checker(("kfree",)),
+            lock_checker(),
+            malloc_fail_checker(),
+            range_check_checker(),
+            user_pointer_checker(),
+        ]
+    )
+
+    print("\n== ranked audit (severity classes, then difficulty) ==")
+    for index, report in enumerate(stratify(result.reports), 1):
+        print("%2d. [%-8s] %s" % (index, report.severity or "plain",
+                                  report.format()))
+
+    found = {(r.function, r.checker) for r in result.reports}
+    missing = GROUND_TRUTH - found
+    extra = {f for f in found if f not in GROUND_TRUTH}
+    print("\nground truth: %d/%d seeded bugs found, %d unexpected reports"
+          % (len(GROUND_TRUTH) - len(missing), len(GROUND_TRUTH), len(extra)))
+    if missing:
+        print("  missed:", sorted(missing))
+    if extra:
+        print("  extra:", sorted(extra))
+    assert not missing, "audit must find every seeded bug"
+    assert not extra, "audit must not report clean functions"
+    print("clean audit: every seeded bug found, nothing else flagged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""metal/xgcc reproduction: system-specific static analysis (PLDI 2002).
+
+Public API sketch::
+
+    from repro import Analysis, compile_metal, parse_c
+
+    checker = compile_metal(open("free.metal").read())
+    result = Analysis([parse_c(open("dev.c").read(), "dev.c")]).run(checker)
+    for report in result.reports:
+        print(report.format())
+
+Subpackages: :mod:`repro.cfront` (C front end), :mod:`repro.cfg` (CFGs and
+call graph), :mod:`repro.metal` (the extension language), :mod:`repro.engine`
+(the analysis engine), :mod:`repro.ranking`, :mod:`repro.checkers`,
+:mod:`repro.driver` (two-pass build + CLI), :mod:`repro.codegen` (workload
+generation).
+"""
+
+__version__ = "1.0.0"
+
+from repro.cfront.parser import parse as parse_c
+from repro.engine.analysis import Analysis, AnalysisOptions, AnalysisResult
+from repro.metal.language import compile_metal
+from repro.metal.sm import Extension
+
+__all__ = [
+    "__version__",
+    "parse_c",
+    "Analysis",
+    "AnalysisOptions",
+    "AnalysisResult",
+    "compile_metal",
+    "Extension",
+]

@@ -1,0 +1,16 @@
+"""Control-flow graphs, the call graph, and the supergraph (§5-§6)."""
+
+from repro.cfg.blocks import BasicBlock, CFG, Edge
+from repro.cfg.builder import build_cfg
+from repro.cfg.callgraph import CallGraph
+from repro.cfg.supergraph import Supergraph, build_supergraph
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "Edge",
+    "build_cfg",
+    "CallGraph",
+    "Supergraph",
+    "build_supergraph",
+]

@@ -1,0 +1,350 @@
+"""AST -> CFG lowering.
+
+Short-circuit operators and ``?:`` appearing in branch *conditions* are
+lowered into explicit control flow (so the engine's path-sensitive pieces
+see them); elsewhere they stay as plain expression trees.
+
+Statements containing a function call are isolated into their own block.
+This mirrors the supergraph construction of §6.2 where each call is split
+into a callsite node ``cp`` and a return-site node ``rp``; the block after
+a call block plays the ``rp`` role.
+"""
+
+from repro.cfront import astnodes as ast
+from repro.cfg.blocks import CFG, ReturnMarker
+
+
+class _LoopContext:
+    def __init__(self, break_target, continue_target):
+        self.break_target = break_target
+        self.continue_target = continue_target
+
+
+class CFGBuilder:
+    """Builds the CFG for a single function definition."""
+
+    def __init__(self, decl):
+        assert decl.is_definition
+        self.cfg = CFG(decl)
+        self.current = self.cfg.entry
+        self.loop_stack = []
+        self.switch_stack = []  # list of (dispatch_block, had_default[0])
+        self.labels = {}
+        self.pending_gotos = []  # (block, label_name)
+
+    def build(self):
+        self._stmt(self.cfg.decl.body)
+        self._terminate(self.cfg.exit)
+        for block, label in self.pending_gotos:
+            target = self.labels.get(label)
+            if target is None:
+                target = self.cfg.exit  # undefined label: treat as exit
+            block.add_edge(target)
+        self.cfg.prune_unreachable()
+        return self.cfg
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _terminate(self, target, label=None):
+        """End the current block with an edge to ``target`` (if still open)."""
+        if self.current is not None:
+            self.current.add_edge(target, label)
+        self.current = None
+
+    def _start(self, block):
+        self.current = block
+
+    def _ensure_block(self):
+        if self.current is None:
+            # Unreachable code after return/break; give it a block anyway so
+            # items have a home (it will be pruned if truly unreachable).
+            self.current = self.cfg.new_block()
+        return self.current
+
+    def _add_item(self, item):
+        self._ensure_block().items.append(item)
+
+    def _add_expr_item(self, expr):
+        """Add an expression tree, isolating call-bearing statements."""
+        if expr is None:
+            return
+        if _contains_call(expr):
+            block = self._ensure_block()
+            if block.items:
+                fresh = self.cfg.new_block()
+                self._terminate(fresh)
+                self._start(fresh)
+            self._ensure_block().items.append(expr)
+            self.current.is_call_block = True
+            after = self.cfg.new_block()
+            self._terminate(after)
+            self._start(after)
+        else:
+            self._add_item(expr)
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmt(self, node):
+        if node is None or self.current is None and isinstance(node, (ast.Break, ast.Continue)):
+            return
+        if isinstance(node, ast.Compound):
+            for item in node.items:
+                self._stmt(item)
+        elif isinstance(node, ast.VarDecl):
+            self._add_item(node)
+            if node.init is not None and not isinstance(node.init, ast.InitList):
+                ident = ast.Ident(node.name, node.location)
+                ident.ctype = node.ctype
+                assign = ast.Assign("=", ident, node.init, node.location)
+                assign.ctype = node.ctype
+                self._add_expr_item(assign)
+        elif isinstance(node, (ast.TypedefDecl, ast.RecordDecl, ast.EnumDecl)):
+            pass
+        elif isinstance(node, ast.ExprStmt):
+            self._add_expr_item(node.expr)
+        elif isinstance(node, ast.EmptyStmt):
+            pass
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.DoWhile):
+            self._dowhile(node)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.Switch):
+            self._switch(node)
+        elif isinstance(node, ast.Case):
+            self._case(node)
+        elif isinstance(node, ast.Default):
+            self._default(node)
+        elif isinstance(node, ast.Break):
+            if self.loop_stack or self.switch_stack:
+                target = (
+                    self.loop_stack[-1].break_target
+                    if self._innermost_is_loop()
+                    else self.switch_stack[-1][2]
+                )
+                self._terminate(target)
+        elif isinstance(node, ast.Continue):
+            if self.loop_stack:
+                self._terminate(self.loop_stack[-1].continue_target)
+        elif isinstance(node, ast.Return):
+            if node.expr is not None:
+                self._add_expr_item(node.expr)
+            self._add_item(ReturnMarker(node.expr, node.location))
+            self._terminate(self.cfg.exit)
+        elif isinstance(node, ast.Goto):
+            block = self._ensure_block()
+            self.pending_gotos.append((block, node.label))
+            self.current = None
+        elif isinstance(node, ast.Label):
+            target = self.labels.get(node.name)
+            if target is None:
+                target = self.cfg.new_block()
+                self.labels[node.name] = target
+            self._terminate(target)
+            self._start(target)
+            self._stmt(node.stmt)
+        else:
+            raise TypeError("cannot lower statement %r" % (node,))
+
+    def _innermost_is_loop(self):
+        """Is the innermost enclosing breakable construct a loop?"""
+        if not self.switch_stack:
+            return True
+        if not self.loop_stack:
+            return False
+        return self.loop_stack[-1].depth > self.switch_stack[-1][3]
+
+    # -- conditions with short-circuit lowering ------------------------------------
+
+    def _branch(self, cond, true_block, false_block):
+        """Lower ``cond`` ending the current path with edges to the blocks."""
+        if isinstance(cond, ast.Binary) and cond.op == "&&":
+            middle = self.cfg.new_block()
+            self._branch(cond.left, middle, false_block)
+            self._start(middle)
+            self._branch(cond.right, true_block, false_block)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "||":
+            middle = self.cfg.new_block()
+            self._branch(cond.left, true_block, middle)
+            self._start(middle)
+            self._branch(cond.right, true_block, false_block)
+            return
+        if isinstance(cond, ast.Unary) and cond.op == "!" and not cond.postfix:
+            self._branch(cond.operand, false_block, true_block)
+            return
+        if isinstance(cond, ast.Comma):
+            self._add_expr_item(cond.left)
+            self._branch(cond.right, true_block, false_block)
+            return
+        block = self._ensure_block()
+        if _contains_call(cond) and block.items:
+            fresh = self.cfg.new_block()
+            self._terminate(fresh)
+            self._start(fresh)
+            block = self.current
+        block.items.append(cond)
+        block.branch_cond = cond
+        if _contains_call(cond):
+            block.is_call_block = True
+        block.add_edge(true_block, True)
+        block.add_edge(false_block, False)
+        self.current = None
+
+    def _if(self, node):
+        then_block = self.cfg.new_block()
+        else_block = self.cfg.new_block()
+        join = self.cfg.new_block()
+        self._branch(node.cond, then_block, else_block)
+        self._start(then_block)
+        self._stmt(node.then)
+        self._terminate(join)
+        self._start(else_block)
+        if node.otherwise is not None:
+            self._stmt(node.otherwise)
+        self._terminate(join)
+        self._start(join)
+
+    def _loop_header(self, header, body_stmt, extra=()):
+        """Mark ``header`` as a loop head and record assigned variables."""
+        assigned = set()
+        for stmt in (body_stmt, *extra):
+            if stmt is not None:
+                assigned |= _assigned_names(stmt)
+        header.havoc_vars = frozenset(assigned)
+
+    def _while(self, node):
+        header = self.cfg.new_block()
+        body = self.cfg.new_block()
+        after = self.cfg.new_block()
+        self._loop_header(header, node.body)
+        self._terminate(header)
+        self._start(header)
+        self._branch(node.cond, body, after)
+        self.loop_stack.append(_LoopContext(after, header))
+        self.loop_stack[-1].depth = len(self.loop_stack) + len(self.switch_stack)
+        self._start(body)
+        self._stmt(node.body)
+        self._terminate(header)
+        self.loop_stack.pop()
+        self._start(after)
+
+    def _dowhile(self, node):
+        body = self.cfg.new_block()
+        cond_block = self.cfg.new_block()
+        after = self.cfg.new_block()
+        body.havoc_vars = _assigned_names(node.body)
+        self._terminate(body)
+        self.loop_stack.append(_LoopContext(after, cond_block))
+        self.loop_stack[-1].depth = len(self.loop_stack) + len(self.switch_stack)
+        self._start(body)
+        self._stmt(node.body)
+        self._terminate(cond_block)
+        self.loop_stack.pop()
+        self._start(cond_block)
+        self._branch(node.cond, body, after)
+        self._start(after)
+
+    def _for(self, node):
+        if node.init is not None:
+            self._stmt(node.init)
+        header = self.cfg.new_block()
+        body = self.cfg.new_block()
+        step_block = self.cfg.new_block()
+        after = self.cfg.new_block()
+        step_stmt = ast.ExprStmt(node.step) if node.step is not None else None
+        self._loop_header(header, node.body, (step_stmt,))
+        self._terminate(header)
+        self._start(header)
+        if node.cond is not None:
+            self._branch(node.cond, body, after)
+        else:
+            self._terminate(body)
+        self.loop_stack.append(_LoopContext(after, step_block))
+        self.loop_stack[-1].depth = len(self.loop_stack) + len(self.switch_stack)
+        self._start(body)
+        self._stmt(node.body)
+        self._terminate(step_block)
+        self.loop_stack.pop()
+        self._start(step_block)
+        if node.step is not None:
+            self._add_expr_item(node.step)
+        self._terminate(header)
+        self._start(after)
+
+    def _switch(self, node):
+        dispatch = self._ensure_block()
+        self._add_expr_item(node.cond)
+        dispatch = self.current  # _add_expr_item may have moved us
+        dispatch.switch_cond = node.cond
+        after = self.cfg.new_block()
+        entry = (dispatch, [False], after, len(self.loop_stack) + len(self.switch_stack) + 1)
+        self.switch_stack.append(entry)
+        self.current = None  # cases attach their own edges to dispatch
+        self._stmt(node.body)
+        self._terminate(after)
+        self.switch_stack.pop()
+        if not entry[1][0]:
+            dispatch.add_edge(after, "default")
+        self._start(after)
+
+    def _case(self, node):
+        if not self.switch_stack:
+            raise ValueError("case outside switch at %s" % node.location)
+        dispatch = self.switch_stack[-1][0]
+        block = self.cfg.new_block()
+        dispatch.add_edge(block, ("case", _const_value(node.expr)))
+        self._terminate(block)  # fallthrough from the previous case body
+        self._start(block)
+        self._stmt(node.stmt)
+
+    def _default(self, node):
+        if not self.switch_stack:
+            raise ValueError("default outside switch at %s" % node.location)
+        dispatch, had_default = self.switch_stack[-1][0], self.switch_stack[-1][1]
+        had_default[0] = True
+        block = self.cfg.new_block()
+        dispatch.add_edge(block, "default")
+        self._terminate(block)
+        self._start(block)
+        self._stmt(node.stmt)
+
+
+def _contains_call(expr):
+    return any(isinstance(n, ast.Call) for n in expr.walk())
+
+
+def _assigned_names(stmt):
+    """Variable names assigned (or ++/--'d) anywhere inside ``stmt``."""
+    names = set()
+    for node in stmt.walk():
+        target = None
+        if isinstance(node, ast.Assign):
+            target = node.target
+        elif isinstance(node, ast.Unary) and node.op in ("++", "--"):
+            target = node.operand
+        if isinstance(target, ast.Ident):
+            names.add(target.name)
+        elif target is not None:
+            names.update(ast.identifiers_in(target))
+    return frozenset(names)
+
+
+def _const_value(expr):
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.CharLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-" and isinstance(expr.operand, ast.IntLit):
+        return -expr.operand.value
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    return None
+
+
+def build_cfg(decl):
+    """Build the CFG for a function definition."""
+    return CFGBuilder(decl).build()

@@ -1,0 +1,96 @@
+"""The call graph (§6, analysis pass step 2).
+
+Functions with no callers are roots; recursive call chains are broken
+arbitrarily so that every function is reachable from some root.
+"""
+
+from repro.cfront import astnodes as ast
+
+
+class CallGraph:
+    """Direct-call graph over a set of function definitions."""
+
+    def __init__(self):
+        self.functions = {}  # name -> FunctionDecl (definitions only)
+        self.callees = {}  # name -> set of called names (defined or not)
+        self.callers = {}  # name -> set of defined caller names
+
+    @classmethod
+    def from_units(cls, units):
+        """Build from an iterable of TranslationUnits."""
+        graph = cls()
+        for unit in units:
+            for decl in unit.functions():
+                graph.add_function(decl)
+        graph.link()
+        return graph
+
+    def add_function(self, decl):
+        self.functions[decl.name] = decl
+
+    def link(self):
+        """(Re)compute callee/caller sets from the function bodies."""
+        self.callees = {name: set() for name in self.functions}
+        self.callers = {name: set() for name in self.functions}
+        for name, decl in self.functions.items():
+            for node in decl.body.walk():
+                if isinstance(node, ast.Call):
+                    callee = node.callee_name()
+                    if callee is not None:
+                        self.callees[name].add(callee)
+        for name, callees in self.callees.items():
+            for callee in callees:
+                if callee in self.callers:
+                    self.callers[callee].add(name)
+
+    def roots(self):
+        """Entry points: functions with no callers, plus one arbitrary
+        function per otherwise-unreachable recursive component."""
+        roots = [name for name in self.functions if not self.callers[name]]
+        reachable = self._reachable_from(roots)
+        # Break recursion: repeatedly promote the lexicographically first
+        # unreached function to a root ("broken arbitrarily", §6).
+        remaining = sorted(set(self.functions) - reachable)
+        while remaining:
+            root = remaining[0]
+            roots.append(root)
+            reachable |= self._reachable_from([root])
+            remaining = sorted(set(self.functions) - reachable)
+        return sorted(roots)
+
+    def _reachable_from(self, names):
+        seen = set()
+        stack = list(names)
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in self.functions:
+                continue
+            seen.add(name)
+            stack.extend(self.callees.get(name, ()))
+        return seen
+
+    def topological_order(self):
+        """Callees-before-callers order (cycles broken arbitrarily)."""
+        order = []
+        visited = {}
+
+        def visit(name):
+            state = visited.get(name)
+            if state is not None:
+                return
+            visited[name] = "visiting"
+            for callee in sorted(self.callees.get(name, ())):
+                if callee in self.functions and visited.get(callee) != "visiting":
+                    visit(callee)
+            visited[name] = "done"
+            order.append(name)
+
+        for name in sorted(self.functions):
+            visit(name)
+        return order
+
+    def __contains__(self, name):
+        return name in self.functions
+
+    def __len__(self):
+        return len(self.functions)

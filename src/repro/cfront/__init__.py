@@ -1,0 +1,26 @@
+"""C front end: lexer, preprocessor, parser, AST, types, unparser.
+
+This package is the substrate that replaces the GCC front end used by the
+original xgcc.  It parses a practical subset of C into ASTs that the rest of
+the system (CFG construction, metal pattern matching, the analysis engine)
+consumes.
+"""
+
+from repro.cfront.source import Location, SourceError
+from repro.cfront.lexer import Lexer, Token, TokenKind, tokenize
+from repro.cfront.parser import Parser, parse, parse_expression, parse_statement
+from repro.cfront.unparse import unparse
+
+__all__ = [
+    "Location",
+    "SourceError",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_expression",
+    "parse_statement",
+    "unparse",
+]

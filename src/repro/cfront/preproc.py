@@ -1,0 +1,496 @@
+"""A lightweight C preprocessor.
+
+Implements the directives systems code actually leans on: object- and
+function-like ``#define`` (with ``#``/``##`` left out -- stringize/paste are
+rare in the code the analyses target and are rejected loudly rather than
+mis-expanded), ``#undef``, ``#include`` (with an include-path search),
+``#if``/``#ifdef``/``#ifndef``/``#elif``/``#else``/``#endif`` with
+``defined()``, and ``#error``.  Unknown directives (``#pragma`` ...) are
+skipped.
+
+The output is a token list suitable for :class:`repro.cfront.parser.Parser`
+plus the text form (for size accounting in the two-pass driver).
+"""
+
+import os
+
+from repro.cfront.lexer import Lexer, Token, TokenKind, parse_int_constant
+from repro.cfront.source import PreprocessorError
+
+
+class Macro:
+    """A macro definition."""
+
+    def __init__(self, name, body, params=None, varargs=False):
+        self.name = name
+        self.body = list(body)  # tokens
+        self.params = params  # None => object-like
+        self.varargs = varargs
+
+    @property
+    def function_like(self):
+        return self.params is not None
+
+
+class Preprocessor:
+    """Expands one file (and its includes) into a flat token stream."""
+
+    def __init__(self, include_paths=(), defines=None, file_reader=None):
+        self.include_paths = list(include_paths)
+        self.macros = {}
+        self.file_reader = file_reader or _read_file
+        self.included = set()
+        for name, value in (defines or {}).items():
+            body = Lexer(str(value), "<cmdline>").tokens()[:-1]
+            self.macros[name] = Macro(name, body)
+
+    # -- public API ---------------------------------------------------------
+
+    def preprocess_text(self, text, filename="<string>"):
+        """Preprocess source text; returns the output token list (no EOF)."""
+        lines = self._directive_lines(text, filename)
+        return self._process_lines(lines, filename)
+
+    def preprocess_file(self, path):
+        text = self.file_reader(path)
+        return self.preprocess_text(text, path)
+
+    # -- line splitting -------------------------------------------------------
+
+    def _directive_lines(self, text, filename):
+        """Split the token stream into logical lines, tagging directives."""
+        lexer = Lexer(text, filename, emit_newlines=True)
+        tokens = lexer.tokens()
+        lines = []
+        current = []
+        is_directive = False
+        for token in tokens:
+            if token.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+                if current or is_directive:
+                    lines.append((is_directive, current))
+                current = []
+                is_directive = False
+                if token.kind is TokenKind.EOF:
+                    break
+            elif token.kind is TokenKind.HASH and not current:
+                is_directive = True
+            else:
+                current.append(token)
+        return lines
+
+    # -- conditional / directive machinery ---------------------------------------
+
+    def _process_lines(self, lines, filename):
+        output = []
+        # Conditional stack entries: [taken_now, ever_taken, seen_else]
+        stack = []
+
+        def active():
+            return all(entry[0] for entry in stack)
+
+        for is_directive, tokens in lines:
+            if is_directive:
+                name = tokens[0].value if tokens else ""
+                rest = tokens[1:]
+                if name == "ifdef" or name == "ifndef":
+                    defined = bool(rest) and rest[0].value in self.macros
+                    taken = defined if name == "ifdef" else not defined
+                    stack.append([taken and active(), taken, False])
+                elif name == "if":
+                    taken = bool(self._evaluate_condition(rest)) if active() else False
+                    stack.append([taken and active(), taken, False])
+                elif name == "elif":
+                    if not stack:
+                        raise PreprocessorError("#elif without #if", _loc(tokens))
+                    entry = stack.pop()
+                    if entry[2]:
+                        raise PreprocessorError("#elif after #else", _loc(tokens))
+                    parent_active = all(e[0] for e in stack)
+                    taken = (
+                        not entry[1]
+                        and parent_active
+                        and bool(self._evaluate_condition(rest))
+                    )
+                    stack.append([taken, entry[1] or taken, False])
+                elif name == "else":
+                    if not stack:
+                        raise PreprocessorError("#else without #if", _loc(tokens))
+                    entry = stack.pop()
+                    parent_active = all(e[0] for e in stack)
+                    stack.append([not entry[1] and parent_active, True, True])
+                elif name == "endif":
+                    if not stack:
+                        raise PreprocessorError("#endif without #if", _loc(tokens))
+                    stack.pop()
+                elif not active():
+                    continue
+                elif name == "define":
+                    self._handle_define(rest)
+                elif name == "undef":
+                    if rest:
+                        self.macros.pop(rest[0].value, None)
+                elif name == "include":
+                    output.extend(self._handle_include(rest))
+                elif name == "error":
+                    message = " ".join(t.value for t in rest)
+                    raise PreprocessorError("#error %s" % message, _loc(tokens))
+                else:
+                    pass  # pragma, line, warning: ignore
+            else:
+                if active():
+                    output.extend(self._expand(tokens))
+        if stack:
+            raise PreprocessorError("unterminated conditional", None)
+        return output
+
+    def _handle_define(self, tokens):
+        if not tokens:
+            raise PreprocessorError("empty #define", None)
+        name_token = tokens[0]
+        name = name_token.value
+        rest = tokens[1:]
+        # Function-like iff '(' immediately follows the name (no space).
+        if rest and rest[0].is_punct("(") and not rest[0].preceded_by_space:
+            params = []
+            varargs = False
+            index = 1
+            if not rest[index].is_punct(")"):
+                while True:
+                    token = rest[index]
+                    if token.is_punct("..."):
+                        varargs = True
+                        index += 1
+                        break
+                    params.append(token.value)
+                    index += 1
+                    if rest[index].is_punct(","):
+                        index += 1
+                    else:
+                        break
+            if not rest[index].is_punct(")"):
+                raise PreprocessorError(
+                    "malformed macro parameter list for %r" % name, name_token.location
+                )
+            body = rest[index + 1 :]
+            self.macros[name] = Macro(name, body, params, varargs)
+        else:
+            self.macros[name] = Macro(name, rest)
+
+    def _handle_include(self, tokens):
+        if not tokens:
+            raise PreprocessorError("empty #include", None)
+        first = tokens[0]
+        if first.kind is TokenKind.STRING:
+            target = first.value[1:-1]
+            system = False
+        elif first.is_punct("<"):
+            target = "".join(t.value for t in tokens[1:-1])
+            system = True
+        else:
+            raise PreprocessorError("malformed #include", first.location)
+        path = self._find_include(target)
+        if path is None:
+            if system:
+                return []  # unresolved system headers are silently skipped
+            raise PreprocessorError("cannot find include file %r" % target, first.location)
+        if path in self.included:
+            return []  # simple include-once; sufficient for our workloads
+        self.included.add(path)
+        text = self.file_reader(path)
+        lines = self._directive_lines(text, path)
+        return self._process_lines(lines, path)
+
+    def _find_include(self, target):
+        for base in self.include_paths:
+            candidate = os.path.join(base, target)
+            if self._readable(candidate):
+                return candidate
+        if self._readable(target):
+            return target
+        return None
+
+    def _readable(self, path):
+        try:
+            self.file_reader(path)
+            return True
+        except (OSError, KeyError):
+            return False
+
+    # -- macro expansion -----------------------------------------------------------
+
+    def _expand(self, tokens, hide=frozenset()):
+        """Expand macros in a token list (with recursion hiding)."""
+        output = []
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token.kind is not TokenKind.IDENT or token.value in hide:
+                output.append(token)
+                index += 1
+                continue
+            macro = self.macros.get(token.value)
+            if macro is None:
+                output.append(token)
+                index += 1
+                continue
+            if macro.function_like:
+                # Needs a following '('; otherwise the name is ordinary.
+                if index + 1 >= len(tokens) or not tokens[index + 1].is_punct("("):
+                    output.append(token)
+                    index += 1
+                    continue
+                args, consumed = self._collect_arguments(tokens, index + 1, token)
+                expanded = self._substitute(macro, args, token)
+                output.extend(self._expand(expanded, hide | {macro.name}))
+                index += consumed + 1
+            else:
+                body = [_relocate(t, token.location) for t in macro.body]
+                output.extend(self._expand(body, hide | {macro.name}))
+                index += 1
+        return output
+
+    def _collect_arguments(self, tokens, open_index, name_token):
+        """Collect macro call arguments; returns (args, tokens_consumed)."""
+        assert tokens[open_index].is_punct("(")
+        args = [[]]
+        depth = 0
+        index = open_index
+        while index < len(tokens):
+            token = tokens[index]
+            if token.is_punct("("):
+                depth += 1
+                if depth > 1:
+                    args[-1].append(token)
+            elif token.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    consumed = index - open_index + 1
+                    if args == [[]]:
+                        args = []
+                    return args, consumed
+                args[-1].append(token)
+            elif token.is_punct(",") and depth == 1:
+                args.append([])
+            else:
+                args[-1].append(token)
+            index += 1
+        raise PreprocessorError(
+            "unterminated macro invocation of %r" % name_token.value, name_token.location
+        )
+
+    def _substitute(self, macro, args, name_token):
+        if macro.varargs:
+            fixed = len(macro.params)
+            va = args[fixed:]
+            args = args[:fixed]
+            va_tokens = []
+            for i, arg in enumerate(va):
+                if i:
+                    va_tokens.append(Token(TokenKind.PUNCT, ",", name_token.location))
+                va_tokens.extend(arg)
+        if len(args) < len(macro.params):
+            args = args + [[] for _ in range(len(macro.params) - len(args))]
+        mapping = dict(zip(macro.params, args))
+        output = []
+        for token in macro.body:
+            if token.is_punct("#", "##"):
+                raise PreprocessorError(
+                    "stringize/paste (#/##) not supported in macro %r" % macro.name,
+                    name_token.location,
+                )
+            if token.kind is TokenKind.IDENT and token.value in mapping:
+                output.extend(
+                    _relocate(t, name_token.location) for t in self._expand(mapping[token.value])
+                )
+            elif macro.varargs and token.is_ident("__VA_ARGS__"):
+                output.extend(_relocate(t, name_token.location) for t in va_tokens)
+            else:
+                output.append(_relocate(token, name_token.location))
+        return output
+
+    # -- conditional expressions ------------------------------------------------------
+
+    def _evaluate_condition(self, tokens):
+        """Evaluate a #if expression after macro expansion and defined()."""
+        tokens = self._expand_defined(tokens)
+        tokens = self._expand(tokens)
+        evaluator = _CondParser(tokens)
+        value = evaluator.parse()
+        return value
+
+    def _expand_defined(self, tokens):
+        output = []
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token.is_ident("defined"):
+                if index + 1 < len(tokens) and tokens[index + 1].is_punct("("):
+                    name = tokens[index + 2].value
+                    index += 4
+                else:
+                    name = tokens[index + 1].value
+                    index += 2
+                value = "1" if name in self.macros else "0"
+                output.append(Token(TokenKind.INT_CONST, value, token.location))
+            else:
+                output.append(token)
+                index += 1
+        return output
+
+
+class _CondParser:
+    """A tiny Pratt evaluator for integer #if expressions."""
+
+    _BINOPS = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return Token(TokenKind.EOF, "")
+
+    def advance(self):
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def parse(self):
+        value = self._ternary()
+        return value
+
+    def _ternary(self):
+        cond = self._binary(0)
+        if self.peek().is_punct("?"):
+            self.advance()
+            then = self._ternary()
+            if not self.peek().is_punct(":"):
+                raise PreprocessorError("expected ':' in #if expression", self.peek().location)
+            self.advance()
+            otherwise = self._ternary()
+            return then if cond else otherwise
+        return cond
+
+    def _binary(self, level):
+        if level >= len(self._BINOPS):
+            return self._unary()
+        ops = self._BINOPS[level]
+        left = self._binary(level + 1)
+        while self.peek().kind is TokenKind.PUNCT and self.peek().value in ops:
+            op = self.advance().value
+            right = self._binary(level + 1)
+            left = _apply_binop(op, left, right)
+        return left
+
+    def _unary(self):
+        token = self.peek()
+        if token.is_punct("!"):
+            self.advance()
+            return int(not self._unary())
+        if token.is_punct("-"):
+            self.advance()
+            return -self._unary()
+        if token.is_punct("+"):
+            self.advance()
+            return self._unary()
+        if token.is_punct("~"):
+            self.advance()
+            return ~self._unary()
+        if token.is_punct("("):
+            self.advance()
+            value = self._ternary()
+            if not self.peek().is_punct(")"):
+                raise PreprocessorError("expected ')' in #if expression", token.location)
+            self.advance()
+            return value
+        if token.kind is TokenKind.INT_CONST:
+            self.advance()
+            return parse_int_constant(token.value)
+        if token.kind is TokenKind.CHAR_CONST:
+            self.advance()
+            from repro.cfront.lexer import parse_char_constant
+
+            return parse_char_constant(token.value)
+        if token.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            # Undefined identifiers evaluate to 0, per the standard.
+            self.advance()
+            return 0
+        raise PreprocessorError("bad token in #if expression: %r" % token.value, token.location)
+
+
+def _apply_binop(op, left, right):
+    if op == "||":
+        return int(bool(left) or bool(right))
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == ">":
+        return int(left > right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "/":
+        return left // right if right else 0
+    if op == "%":
+        return left % right if right else 0
+    return {
+        "|": left | right,
+        "^": left ^ right,
+        "&": left & right,
+        "<<": left << right,
+        ">>": left >> right,
+        "+": left + right,
+        "-": left - right,
+        "*": left * right,
+    }[op]
+
+
+def _relocate(token, location):
+    return Token(token.kind, token.value, location, token.preceded_by_space)
+
+
+def _loc(tokens):
+    return tokens[0].location if tokens else None
+
+
+def _read_file(path):
+    with open(path, "r") as handle:
+        return handle.read()
+
+
+def preprocess(text, filename="<string>", include_paths=(), defines=None, file_reader=None):
+    """Preprocess text and return it re-rendered as parseable C source."""
+    pp = Preprocessor(include_paths, defines, file_reader)
+    tokens = pp.preprocess_text(text, filename)
+    return render_tokens(tokens)
+
+
+def render_tokens(tokens):
+    """Render a token list back to compilable text (space-separated)."""
+    parts = []
+    previous = None
+    for token in tokens:
+        if previous is not None:
+            parts.append(" ")
+        parts.append(token.value)
+        previous = token
+    return "".join(parts)

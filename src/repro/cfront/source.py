@@ -1,0 +1,39 @@
+"""Source locations and diagnostics for the C front end."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Location:
+    """A position in a source file (1-based line and column)."""
+
+    filename: str = "<string>"
+    line: int = 1
+    column: int = 1
+
+    def __str__(self):
+        return "%s:%d:%d" % (self.filename, self.line, self.column)
+
+
+UNKNOWN_LOCATION = Location("<unknown>", 0, 0)
+
+
+class SourceError(Exception):
+    """An error tied to a source location (lex, preprocess, or parse)."""
+
+    def __init__(self, message, location=None):
+        self.message = message
+        self.location = location or UNKNOWN_LOCATION
+        super().__init__("%s: %s" % (self.location, message))
+
+
+class LexError(SourceError):
+    """A tokenization failure."""
+
+
+class PreprocessorError(SourceError):
+    """A preprocessing failure (bad directive, unterminated conditional...)."""
+
+
+class ParseError(SourceError):
+    """A parse failure."""

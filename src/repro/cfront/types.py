@@ -1,0 +1,301 @@
+"""C type representations.
+
+Types matter to the reproduction in two places: metal hole typing (Table 1:
+``any pointer``, ``any scalar``, concrete C types) and the refine/restore
+rules at call boundaries (Table 2).  The representation is deliberately
+structural: two ``int *`` types compare equal wherever they were spelled.
+"""
+
+
+class CType:
+    """Base class for C types."""
+
+    def is_pointer(self):
+        return False
+
+    def is_scalar(self):
+        """True for arithmetic and pointer types (usable in conditions)."""
+        return False
+
+    def is_arithmetic(self):
+        return False
+
+    def is_integer(self):
+        return False
+
+    def is_void(self):
+        return False
+
+    def is_function(self):
+        return False
+
+    def resolve(self):
+        """Strip typedef indirections."""
+        return self
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+
+class BasicType(CType):
+    """A builtin type such as ``int``, ``unsigned long`` or ``void``.
+
+    ``name`` is the canonical spelling with specifiers in a fixed order.
+    """
+
+    _INTEGER_NAMES = frozenset(
+        [
+            "char",
+            "signed char",
+            "unsigned char",
+            "short",
+            "unsigned short",
+            "int",
+            "unsigned int",
+            "long",
+            "unsigned long",
+            "long long",
+            "unsigned long long",
+            "_Bool",
+        ]
+    )
+    _FLOAT_NAMES = frozenset(["float", "double", "long double"])
+
+    def __init__(self, name):
+        self.name = name
+
+    def is_scalar(self):
+        return not self.is_void()
+
+    def is_arithmetic(self):
+        return not self.is_void()
+
+    def is_integer(self):
+        return self.name in self._INTEGER_NAMES
+
+    def is_float(self):
+        return self.name in self._FLOAT_NAMES
+
+    def is_void(self):
+        return self.name == "void"
+
+    def __eq__(self, other):
+        return isinstance(other, BasicType) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("basic", self.name))
+
+    def __repr__(self):
+        return "BasicType(%r)" % self.name
+
+    def __str__(self):
+        return self.name
+
+
+class PointerType(CType):
+    """``T *`` (qualifiers are tracked but ignored by equality)."""
+
+    def __init__(self, target, qualifiers=()):
+        self.target = target
+        self.qualifiers = frozenset(qualifiers)
+
+    def is_pointer(self):
+        return True
+
+    def is_scalar(self):
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, PointerType) and other.target == self.target
+
+    def __hash__(self):
+        return hash(("ptr", self.target))
+
+    def __repr__(self):
+        return "PointerType(%r)" % self.target
+
+    def __str__(self):
+        return "%s *" % self.target
+
+
+class ArrayType(CType):
+    """``T[n]``; ``size`` is an AST expression or None for ``T[]``."""
+
+    def __init__(self, element, size=None):
+        self.element = element
+        self.size = size
+
+    def is_scalar(self):
+        return False
+
+    def decay(self):
+        """Array-to-pointer decay."""
+        return PointerType(self.element)
+
+    def __eq__(self, other):
+        return isinstance(other, ArrayType) and other.element == self.element
+
+    def __hash__(self):
+        return hash(("array", self.element))
+
+    def __repr__(self):
+        return "ArrayType(%r)" % self.element
+
+    def __str__(self):
+        return "%s[]" % self.element
+
+
+class FunctionType(CType):
+    """A function type: return type plus parameter types."""
+
+    def __init__(self, return_type, parameters=(), varargs=False):
+        self.return_type = return_type
+        self.parameters = tuple(parameters)
+        self.varargs = varargs
+
+    def is_function(self):
+        return True
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, FunctionType)
+            and other.return_type == self.return_type
+            and other.parameters == self.parameters
+            and other.varargs == self.varargs
+        )
+
+    def __hash__(self):
+        return hash(("fn", self.return_type, self.parameters, self.varargs))
+
+    def __repr__(self):
+        return "FunctionType(%r, %r)" % (self.return_type, self.parameters)
+
+    def __str__(self):
+        params = ", ".join(str(p) for p in self.parameters)
+        if self.varargs:
+            params = params + ", ..." if params else "..."
+        return "%s (*)(%s)" % (self.return_type, params)
+
+
+class RecordType(CType):
+    """A struct or union.  Equality is by tag (nominal), like C."""
+
+    def __init__(self, kind, tag, fields=None):
+        assert kind in ("struct", "union")
+        self.kind = kind
+        self.tag = tag  # may be None for anonymous records
+        self.fields = fields  # list of (name, CType) or None if incomplete
+
+    def field_type(self, name):
+        for field_name, field_type in self.fields or ():
+            if field_name == name:
+                return field_type
+        return None
+
+    def __eq__(self, other):
+        if not isinstance(other, RecordType) or other.kind != self.kind:
+            return False
+        if self.tag is not None or other.tag is not None:
+            return other.tag == self.tag
+        return self is other
+
+    def __hash__(self):
+        return hash((self.kind, self.tag))
+
+    def __repr__(self):
+        return "RecordType(%r, %r)" % (self.kind, self.tag)
+
+    def __str__(self):
+        return "%s %s" % (self.kind, self.tag or "<anon>")
+
+
+class EnumType(CType):
+    """An enum; behaves as an integer."""
+
+    def __init__(self, tag, enumerators=()):
+        self.tag = tag
+        self.enumerators = tuple(enumerators)  # (name, value-or-None)
+
+    def is_scalar(self):
+        return True
+
+    def is_arithmetic(self):
+        return True
+
+    def is_integer(self):
+        return True
+
+    def __eq__(self, other):
+        if not isinstance(other, EnumType):
+            return False
+        if self.tag is not None or other.tag is not None:
+            return other.tag == self.tag
+        return self is other
+
+    def __hash__(self):
+        return hash(("enum", self.tag))
+
+    def __repr__(self):
+        return "EnumType(%r)" % self.tag
+
+    def __str__(self):
+        return "enum %s" % (self.tag or "<anon>")
+
+
+class TypedefType(CType):
+    """A typedef name; delegates classification to the underlying type."""
+
+    def __init__(self, name, actual):
+        self.name = name
+        self.actual = actual
+
+    def resolve(self):
+        return self.actual.resolve()
+
+    def is_pointer(self):
+        return self.resolve().is_pointer()
+
+    def is_scalar(self):
+        return self.resolve().is_scalar()
+
+    def is_arithmetic(self):
+        return self.resolve().is_arithmetic()
+
+    def is_integer(self):
+        return self.resolve().is_integer()
+
+    def is_void(self):
+        return self.resolve().is_void()
+
+    def is_function(self):
+        return self.resolve().is_function()
+
+    def __eq__(self, other):
+        if isinstance(other, TypedefType):
+            return self.resolve() == other.resolve()
+        return self.resolve() == other
+
+    def __hash__(self):
+        return hash(self.resolve())
+
+    def __repr__(self):
+        return "TypedefType(%r)" % self.name
+
+    def __str__(self):
+        return self.name
+
+
+# Commonly used singletons.
+VOID = BasicType("void")
+INT = BasicType("int")
+UNSIGNED_INT = BasicType("unsigned int")
+CHAR = BasicType("char")
+LONG = BasicType("long")
+UNSIGNED_LONG = BasicType("unsigned long")
+FLOAT = BasicType("float")
+DOUBLE = BasicType("double")
+BOOL = BasicType("_Bool")
+
+VOID_PTR = PointerType(VOID)
+CHAR_PTR = PointerType(CHAR)
+INT_PTR = PointerType(INT)

@@ -1,0 +1,286 @@
+"""AST -> C source text.
+
+Used for error messages (``mc_identifier`` prints the offending expression),
+round-trip testing of the parser, and dumping generated workloads.
+"""
+
+from repro.cfront import astnodes as ast
+from repro.cfront import types as ctypes
+
+# Precedence table mirroring the parser's grammar; higher binds tighter.
+_PRECEDENCE = {
+    ",": 0,
+    "=": 1,
+    "?:": 2,
+    "||": 3,
+    "&&": 4,
+    "|": 5,
+    "^": 6,
+    "&": 7,
+    "==": 8,
+    "!=": 8,
+    "<": 9,
+    ">": 9,
+    "<=": 9,
+    ">=": 9,
+    "<<": 10,
+    ">>": 10,
+    "+": 11,
+    "-": 11,
+    "*": 12,
+    "/": 12,
+    "%": 12,
+    "unary": 13,
+    "postfix": 14,
+    "primary": 15,
+}
+
+
+def unparse(node):
+    """Render an AST node (expression, statement, or declaration) as C."""
+    if node is None:
+        return ""
+    if isinstance(node, ast.Expr):
+        return _expr(node, 0)
+    if isinstance(node, ast.Stmt):
+        return _stmt(node, 0)
+    if isinstance(node, ast.Decl):
+        return _decl(node, 0)
+    if isinstance(node, ast.TranslationUnit):
+        return "\n".join(_decl(d, 0) for d in node.decls) + "\n"
+    raise TypeError("cannot unparse %r" % (node,))
+
+
+def _maybe_paren(text, inner_prec, outer_prec):
+    if inner_prec < outer_prec:
+        return "(%s)" % text
+    return text
+
+
+def _expr(node, outer_prec):
+    if isinstance(node, ast.Ident):
+        return node.name
+    if isinstance(node, ast.Hole):
+        return node.name
+    if isinstance(node, (ast.IntLit, ast.FloatLit, ast.CharLit, ast.StringLit)):
+        return node.spelling
+    if isinstance(node, ast.Unary):
+        if node.postfix:
+            text = "%s%s" % (_expr(node.operand, _PRECEDENCE["postfix"]), node.op)
+            return _maybe_paren(text, _PRECEDENCE["postfix"], outer_prec)
+        operand = _expr(node.operand, _PRECEDENCE["unary"])
+        # Avoid gluing "- -x" into "--x" (and "& &x" into "&&x"); "**x" is
+        # unambiguous since "**" is not a token.
+        space = " " if node.op in ("-", "+", "&") and operand.startswith(node.op) else ""
+        text = "%s%s%s" % (node.op, space, operand)
+        return _maybe_paren(text, _PRECEDENCE["unary"], outer_prec)
+    if isinstance(node, ast.Binary):
+        prec = _PRECEDENCE[node.op]
+        left = _expr(node.left, prec)
+        right = _expr(node.right, prec + 1)
+        return _maybe_paren("%s %s %s" % (left, node.op, right), prec, outer_prec)
+    if isinstance(node, ast.Assign):
+        prec = _PRECEDENCE["="]
+        left = _expr(node.target, prec + 1)
+        right = _expr(node.value, prec)
+        return _maybe_paren("%s %s %s" % (left, node.op, right), prec, outer_prec)
+    if isinstance(node, ast.Conditional):
+        prec = _PRECEDENCE["?:"]
+        text = "%s ? %s : %s" % (
+            _expr(node.cond, prec + 1),
+            _expr(node.then, 0),
+            _expr(node.otherwise, prec),
+        )
+        return _maybe_paren(text, prec, outer_prec)
+    if isinstance(node, ast.Call):
+        func = _expr(node.func, _PRECEDENCE["postfix"])
+        args = ", ".join(_expr(a, _PRECEDENCE["="]) for a in node.args)
+        return _maybe_paren("%s(%s)" % (func, args), _PRECEDENCE["postfix"], outer_prec)
+    if isinstance(node, ast.Member):
+        obj = _expr(node.obj, _PRECEDENCE["postfix"])
+        return _maybe_paren(
+            "%s%s%s" % (obj, "->" if node.arrow else ".", node.name),
+            _PRECEDENCE["postfix"],
+            outer_prec,
+        )
+    if isinstance(node, ast.Index):
+        array = _expr(node.array, _PRECEDENCE["postfix"])
+        return _maybe_paren(
+            "%s[%s]" % (array, _expr(node.index, 0)), _PRECEDENCE["postfix"], outer_prec
+        )
+    if isinstance(node, ast.Cast):
+        text = "(%s)%s" % (_type_name(node.to_type), _expr(node.operand, _PRECEDENCE["unary"]))
+        return _maybe_paren(text, _PRECEDENCE["unary"], outer_prec)
+    if isinstance(node, ast.SizeofExpr):
+        return _maybe_paren(
+            "sizeof %s" % _expr(node.operand, _PRECEDENCE["unary"]),
+            _PRECEDENCE["unary"],
+            outer_prec,
+        )
+    if isinstance(node, ast.SizeofType):
+        return "sizeof(%s)" % _type_name(node.of_type)
+    if isinstance(node, ast.Comma):
+        text = "%s, %s" % (_expr(node.left, 1), _expr(node.right, 1))
+        return _maybe_paren(text, _PRECEDENCE[","], outer_prec)
+    if isinstance(node, ast.InitList):
+        return "{%s}" % ", ".join(_expr(i, _PRECEDENCE["="]) for i in node.items)
+    raise TypeError("cannot unparse expression %r" % (node,))
+
+
+def _indent(depth):
+    return "    " * depth
+
+
+def _stmt(node, depth):
+    pad = _indent(depth)
+    if isinstance(node, ast.ExprStmt):
+        return "%s%s;" % (pad, _expr(node.expr, 0))
+    if isinstance(node, ast.EmptyStmt):
+        return "%s;" % pad
+    if isinstance(node, ast.Compound):
+        lines = ["%s{" % pad]
+        for item in node.items:
+            if isinstance(item, ast.Decl):
+                lines.append(_decl(item, depth + 1))
+            else:
+                lines.append(_stmt(item, depth + 1))
+        lines.append("%s}" % pad)
+        return "\n".join(lines)
+    if isinstance(node, ast.If):
+        text = "%sif (%s)\n%s" % (pad, _expr(node.cond, 0), _stmt_body(node.then, depth))
+        if node.otherwise is not None:
+            text += "\n%selse\n%s" % (pad, _stmt_body(node.otherwise, depth))
+        return text
+    if isinstance(node, ast.While):
+        return "%swhile (%s)\n%s" % (pad, _expr(node.cond, 0), _stmt_body(node.body, depth))
+    if isinstance(node, ast.DoWhile):
+        return "%sdo\n%s\n%swhile (%s);" % (
+            pad,
+            _stmt_body(node.body, depth),
+            pad,
+            _expr(node.cond, 0),
+        )
+    if isinstance(node, ast.For):
+        if node.init is None:
+            init = ";"
+        elif isinstance(node.init, ast.ExprStmt):
+            init = "%s;" % _expr(node.init.expr, 0)
+        else:  # declaration compound
+            decls = "; ".join(_decl(d, 0).rstrip(";") for d in node.init.items)
+            init = "%s;" % decls
+        cond = _expr(node.cond, 0) if node.cond is not None else ""
+        step = _expr(node.step, 0) if node.step is not None else ""
+        return "%sfor (%s %s; %s)\n%s" % (pad, init, cond, step, _stmt_body(node.body, depth))
+    if isinstance(node, ast.Switch):
+        return "%sswitch (%s)\n%s" % (pad, _expr(node.cond, 0), _stmt_body(node.body, depth))
+    if isinstance(node, ast.Case):
+        return "%scase %s:\n%s" % (pad, _expr(node.expr, 0), _stmt(node.stmt, depth + 1))
+    if isinstance(node, ast.Default):
+        return "%sdefault:\n%s" % (pad, _stmt(node.stmt, depth + 1))
+    if isinstance(node, ast.Break):
+        return "%sbreak;" % pad
+    if isinstance(node, ast.Continue):
+        return "%scontinue;" % pad
+    if isinstance(node, ast.Return):
+        if node.expr is None:
+            return "%sreturn;" % pad
+        return "%sreturn %s;" % (pad, _expr(node.expr, 0))
+    if isinstance(node, ast.Goto):
+        return "%sgoto %s;" % (pad, node.label)
+    if isinstance(node, ast.Label):
+        return "%s%s:\n%s" % (pad, node.name, _stmt(node.stmt, depth))
+    if isinstance(node, ast.Decl):
+        return _decl(node, depth)
+    raise TypeError("cannot unparse statement %r" % (node,))
+
+
+def _stmt_body(node, depth):
+    if isinstance(node, ast.Compound):
+        return _stmt(node, depth)
+    return _stmt(node, depth + 1)
+
+
+def _declarator(ctype, name):
+    """Render ``ctype name`` with C's inside-out declarator syntax."""
+    resolved = ctype
+    if isinstance(resolved, ctypes.TypedefType):
+        return "%s %s" % (resolved.name, name or "")
+    if isinstance(resolved, ctypes.PointerType):
+        inner = "*%s" % (name or "")
+        if isinstance(resolved.target, (ctypes.FunctionType, ctypes.ArrayType)):
+            inner = "(%s)" % inner
+        return _declarator(resolved.target, inner)
+    if isinstance(resolved, ctypes.ArrayType):
+        size = _expr(resolved.size, 0) if resolved.size is not None else ""
+        return _declarator(resolved.element, "%s[%s]" % (name or "", size))
+    if isinstance(resolved, ctypes.FunctionType):
+        params = ", ".join(_declarator(p, "") .strip() for p in resolved.parameters)
+        if resolved.varargs:
+            params = params + ", ..." if params else "..."
+        if not params:
+            params = "void"
+        return _declarator(resolved.return_type, "%s(%s)" % (name or "", params))
+    return "%s %s" % (_type_name(resolved), name or "")
+
+
+def _type_name(ctype):
+    if isinstance(ctype, ctypes.PointerType):
+        inner = _type_name(ctype.target)
+        return "%s *" % inner
+    if isinstance(ctype, ctypes.ArrayType):
+        return _declarator(ctype, "").strip()
+    if isinstance(ctype, ctypes.FunctionType):
+        return _declarator(ctype, "").strip()
+    if isinstance(ctype, ctypes.RecordType) and ctype.tag is None:
+        # anonymous record (e.g. inside sizeof): render its full body
+        return _record_text(ctype, 0).replace("\n", " ")
+    return str(ctype)
+
+
+def _decl(node, depth):
+    pad = _indent(depth)
+    if isinstance(node, ast.VarDecl):
+        storage = "%s " % node.storage if node.storage in ("static", "extern") else ""
+        text = "%s%s%s" % (pad, storage, _declarator(node.ctype, node.name).strip())
+        if node.init is not None:
+            text += " = %s" % _expr(node.init, _PRECEDENCE["="])
+        return text + ";"
+    if isinstance(node, ast.TypedefDecl):
+        return "%stypedef %s;" % (pad, _declarator(node.ctype, node.name).strip())
+    if isinstance(node, ast.ParamDecl):
+        return _declarator(node.ctype, node.name or "").strip()
+    if isinstance(node, ast.RecordDecl):
+        return "%s%s;" % (pad, _record_text(node.record_type, depth))
+    if isinstance(node, ast.EnumDecl):
+        enum = node.enum_type
+        body = ", ".join(
+            "%s = %d" % (name, value) for name, value in enum.enumerators
+        )
+        return "%senum %s {%s};" % (pad, enum.tag or "", body)
+    if isinstance(node, ast.FunctionDecl):
+        storage = "%s " % node.storage if node.storage in ("static", "extern") else ""
+        params = ", ".join(_decl(p, 0) for p in node.params)
+        if node.varargs:
+            params = params + ", ..." if params else "..."
+        if not params:
+            params = "void"
+        # Build the whole declarator inside-out so functions returning
+        # function pointers render as "int (*f(int))(args)".
+        inner = "%s(%s)" % (node.name, params)
+        header = "%s%s%s" % (pad, storage, _declarator(node.return_type, inner).strip())
+        if node.body is None:
+            return header + ";"
+        return "%s\n%s" % (header, _stmt(node.body, depth))
+    raise TypeError("cannot unparse declaration %r" % (node,))
+
+
+def _record_text(record, depth):
+    pad = _indent(depth)
+    header = "%s %s" % (record.kind, record.tag or "")
+    if record.fields is None:
+        return header.strip()
+    lines = ["%s {" % header.strip()]
+    for name, field_type in record.fields:
+        lines.append("%s    %s;" % (pad, _declarator(field_type, name).strip()))
+    lines.append("%s}" % pad)
+    return "\n".join(lines)

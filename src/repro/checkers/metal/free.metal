@@ -1,0 +1,13 @@
+/* Figure 1: the free checker -- use-after-free and double-free.
+   Load with:  xgcc --metal free.metal <files>  */
+sm free_checker {
+ state decl any_pointer v;
+
+ start: { kfree(v) } ==> v.freed ;
+
+ v.freed: { *v } ==> v.stop,
+    { err("using %s after free!", mc_identifier(v)); }
+  | { kfree(v) } ==> v.stop,
+    { err("double free of %s!", mc_identifier(v)); }
+  ;
+}

@@ -1,0 +1,9 @@
+/* The §4 callout example: flag every call to gets(). */
+sm gets_checker {
+ decl any_fn_call fn;
+ decl any_arguments args;
+
+ start: { fn(args) } && ${ mc_is_call_to(fn, "gets") } ,
+    { err("call to gets() is never safe"); }
+  ;
+}

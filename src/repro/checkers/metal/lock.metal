@@ -1,0 +1,22 @@
+/* Figure 3: the lock checker -- unpaired acquire/release and the
+   path-specific trylock transition. */
+sm lock_checker {
+ state decl any_pointer l;
+
+ start:
+    { trylock(l) } ==> true=l.locked, false=l.stop
+  | { lock(l) } ==> l.locked
+  | { unlock(l) } ==> l.stop,
+    { err("releasing lock %s without acquiring it!", mc_identifier(l)); }
+  ;
+
+ l.locked:
+    { unlock(l) } ==> l.stop
+  | { lock(l) } ==> l.locked,
+    { err("double acquire of lock %s!", mc_identifier(l)); }
+  | { trylock(l) } ==> l.locked,
+    { err("double acquire of lock %s!", mc_identifier(l)); }
+  | $end_of_path$ ==> l.stop,
+    { err("lock %s never released!", mc_identifier(l)); }
+  ;
+}

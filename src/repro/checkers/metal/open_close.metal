@@ -1,0 +1,13 @@
+/* A file-descriptor discipline checker: every open must reach a close. */
+sm open_close {
+ state decl any_pointer f;
+ decl any_arguments args;
+
+ start: { f = open_file(args) } ==> f.open ;
+
+ f.open:
+    { close_file(f) } ==> f.stop
+  | $end_of_path$ ==> f.stop,
+    { err("%s opened but never closed", mc_identifier(f)); }
+  ;
+}

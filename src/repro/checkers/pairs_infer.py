@@ -1,0 +1,155 @@
+"""Statistical rule inference ("bugs as deviant behavior", used by §3.2
+and §9).
+
+"To infer whether routines a and b must be paired: (1) assume that they
+must, (2) count the number of times they occur together and (3) count the
+number of times they do not (rule violations).  The reported violations
+are then sorted using a statistical significance test."
+
+:func:`infer_pairs` scans every function's CFG paths counting, for each
+candidate pair ``(a, b)``, occurrences of ``a`` followed by a call to
+``b`` on the same path (examples) versus occurrences where ``b`` never
+follows (counterexamples), then ranks the pairs by z-score.
+
+:func:`make_pair_checker` turns an inferred (or known) pair into an
+ordinary metal extension that reports the violations.
+"""
+
+from repro.cfront import astnodes as ast
+from repro.metal import ANY_ARGUMENTS, Extension
+from repro.ranking.statistical import rule_z_score
+
+
+class InferredPair:
+    """One candidate pairing rule with its evidence."""
+
+    def __init__(self, first, second, examples, counterexamples):
+        self.first = first
+        self.second = second
+        self.examples = examples
+        self.counterexamples = counterexamples
+
+    @property
+    def z_score(self):
+        return rule_z_score(self.examples, self.counterexamples)
+
+    def __repr__(self):
+        return "<pair %s/%s e=%d c=%d z=%.2f>" % (
+            self.first, self.second, self.examples, self.counterexamples,
+            self.z_score,
+        )
+
+
+def infer_pairs(callgraph, candidates=None, min_examples=2, max_paths_per_fn=256):
+    """Infer likely-paired functions from a source base.
+
+    ``candidates`` optionally restricts the first element of pairs
+    considered (e.g. names containing "lock"); otherwise every called name
+    is a candidate opener.  Returns InferredPair objects sorted by
+    descending z-score -- the most reliable rules (and therefore the most
+    likely-real violations) first.
+    """
+    traces = _all_traces(callgraph, max_paths_per_fn)
+
+    # Phase 1: candidate pairs = (a, b) that co-occur in order somewhere.
+    candidate_pairs = set()
+    for trace in traces:
+        for index, opener in enumerate(trace):
+            if candidates is not None and opener not in candidates:
+                continue
+            for follower in set(trace[index + 1 :]):
+                if follower != opener:
+                    candidate_pairs.add((opener, follower))
+
+    # Phase 2: per occurrence of a, did some b follow on this path?
+    counts = {pair: [0, 0] for pair in candidate_pairs}
+    for trace in traces:
+        for index, opener in enumerate(trace):
+            followers = set(trace[index + 1 :])
+            for (a, b), slot in counts.items():
+                if a != opener:
+                    continue
+                if b in followers:
+                    slot[0] += 1
+                else:
+                    slot[1] += 1
+
+    pairs = []
+    for (a, b), (examples, counterexamples) in counts.items():
+        if examples < min_examples:
+            continue
+        pairs.append(InferredPair(a, b, examples, counterexamples))
+    pairs.sort(key=lambda p: (-p.z_score, p.first, p.second))
+    return pairs
+
+
+def _all_traces(callgraph, max_paths_per_fn):
+    from repro.cfg.builder import build_cfg
+
+    traces = []
+    for name in sorted(callgraph.functions):
+        cfg = build_cfg(callgraph.functions[name])
+        traces.extend(_call_traces(cfg, max_paths_per_fn))
+    return traces
+
+
+def _call_traces(cfg, max_paths):
+    """Call-name sequences along CFG paths (each block visited at most
+    once per path; path count bounded)."""
+    traces = []
+
+    def walk(block, seen, trace):
+        if len(traces) >= max_paths:
+            return
+        if block.index in seen:
+            traces.append(trace)
+            return
+        seen = seen | {block.index}
+        trace = list(trace)
+        for item in block.items:
+            if isinstance(item, ast.Node):
+                for node in item.walk():
+                    if isinstance(node, ast.Call):
+                        callee = node.callee_name()
+                        if callee:
+                            trace.append(callee)
+        if block.is_exit or not block.edges:
+            traces.append(trace)
+            return
+        for edge in block.edges:
+            walk(edge.target, seen, trace)
+
+    walk(cfg.entry, frozenset(), [])
+    return traces
+
+
+def make_pair_checker(first, second, name=None):
+    """An extension enforcing "every ``first()`` must be followed by a
+    ``second()`` before the path ends" -- the checking half of inference.
+
+    Uses the global state variable (the pairing is a program-wide
+    property, like the interrupt checker) and counts examples and
+    violations for statistical ranking (§9).
+    """
+    rule_id = "%s/%s" % (first, second)
+    ext = Extension(name or ("pair_%s_%s" % (first, second)))
+    ext.decl("args", ANY_ARGUMENTS)
+
+    def opened(ctx):
+        ctx.path_data["pair_open_site"] = ctx.location
+
+    def closed(ctx):
+        ctx.count_example(rule_id, ctx.path_data.get("pair_open_site"))
+
+    def violated(ctx):
+        ctx.err(
+            "%s() called without a matching %s() before path end",
+            first,
+            second,
+            rule_id=rule_id,
+        )
+
+    ext.transition("start", "{ %s(args) }" % first, to="opened", action=opened)
+    ext.transition("opened", "{ %s(args) }" % second, to="start", action=closed)
+    ext.transition("opened", "$end_of_path$", to="start", action=violated)
+    return ext

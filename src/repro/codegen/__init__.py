@@ -1,0 +1,30 @@
+"""Synthetic systems-code generation.
+
+The paper evaluates on Linux/OpenBSD; those multi-MLOC trees are replaced
+here by a deterministic generator that emits kernel-style C with *known*
+injected bugs, so benchmarks can score found-vs-injected exactly (see
+DESIGN.md, substitutions table).
+"""
+
+from repro.codegen.generator import (
+    InjectedBug,
+    KernelWorkload,
+    generate_kernel_module,
+)
+from repro.codegen.project_gen import (
+    GeneratedProject,
+    generate_project,
+    score_project,
+)
+from repro.codegen.scaling import diamond_function, tracked_objects_function
+
+__all__ = [
+    "InjectedBug",
+    "KernelWorkload",
+    "generate_kernel_module",
+    "GeneratedProject",
+    "generate_project",
+    "score_project",
+    "diamond_function",
+    "tracked_objects_function",
+]

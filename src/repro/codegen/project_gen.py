@@ -1,0 +1,143 @@
+"""Multi-module project generation: several translation units with a
+shared header, cross-file call chains, and file-scope statics -- the
+workload shape the §6 two-pass driver exists for.
+"""
+
+import random
+
+from repro.codegen.generator import BUG_KINDS, InjectedBug, generate_kernel_module
+
+_SHARED_HEADER = """\
+#ifndef GEN_SHARED_H
+#define GEN_SHARED_H
+#define GEN_MAGIC %d
+struct device { int flags; int count; int lck; char *buf; };
+#endif
+"""
+
+
+class GeneratedProject:
+    """The generator output: {filename: source} plus ground truth."""
+
+    def __init__(self, files, bugs, seed):
+        self.files = files  # name -> source text
+        self.bugs = bugs
+        self.seed = seed
+
+    def file_reader(self, path):
+        """A Project file_reader serving this in-memory tree."""
+        return self.files[path]
+
+    def make_project(self):
+        """Build a :class:`repro.driver.project.Project` over this tree."""
+        from repro.driver.project import Project
+
+        project = Project(file_reader=self.file_reader)
+        return self.compile_into(project)
+
+    def compile_into(self, project):
+        """Run pass 1 for every module (header resolved via file_reader)."""
+        for name in sorted(self.files):
+            if name.endswith(".c"):
+                project.compile_text(self.files[name], name)
+        return project
+
+    def __repr__(self):
+        return "<GeneratedProject %d files, %d bugs, seed=%d>" % (
+            len(self.files), len(self.bugs), self.seed,
+        )
+
+
+def generate_project(seed=0, n_modules=4, functions_per_module=12,
+                     bug_rate=0.3, cross_calls=True):
+    """Generate a project of ``n_modules`` C files.
+
+    Each module gets its own kernel-style functions (with seeded bugs as
+    in :func:`generate_kernel_module`), a file-scope static, and -- when
+    ``cross_calls`` is set -- an exported entry point that calls into the
+    next module, making interprocedural state flow across files.
+    """
+    rng = random.Random(seed)
+    files = {"shared.h": _SHARED_HEADER % seed}
+    bugs = []
+    for index in range(n_modules):
+        module_seed = rng.randrange(1 << 30)
+        workload = generate_kernel_module(
+            seed=module_seed,
+            n_functions=functions_per_module,
+            bug_rate=bug_rate,
+        )
+        # Prefix everything so names are unique across modules.
+        prefix = "m%d_" % index
+        source = workload.source
+        for name in workload.function_names:
+            source = source.replace(name, prefix + name)
+        for bug in workload.bugs:
+            bugs.append(InjectedBug(bug.kind, prefix + bug.function))
+
+        chunks = ['#include "shared.h"\n']
+        chunks.append("static int m%d_uses;\n" % index)
+        # strip the module's own struct definition: it comes from shared.h
+        source = "\n".join(
+            line
+            for line in source.splitlines()
+            if not line.startswith("struct device {")
+            and not line.startswith("/* generated")
+        )
+        chunks.append(source)
+        if cross_calls and index + 1 < n_modules:
+            chunks.append(
+                "int m%d_entry(struct device *dev, int n) {\n"
+                "    m%d_uses = m%d_uses + 1;\n"
+                "    return m%d_entry(dev, n + 1);\n"
+                "}\n" % (index, index, index, index + 1)
+            )
+        elif cross_calls:
+            chunks.append(
+                "int m%d_entry(struct device *dev, int n) {\n"
+                "    m%d_uses = m%d_uses + 1;\n"
+                "    return n;\n"
+                "}\n" % (index, index, index)
+            )
+        files["module_%d.c" % index] = "\n".join(chunks)
+    return GeneratedProject(files, bugs, seed)
+
+
+def default_checkers():
+    """The checker suite matched to the generator's bug kinds."""
+    from repro.checkers import (
+        free_checker,
+        lock_checker,
+        malloc_fail_checker,
+        range_check_checker,
+        user_pointer_checker,
+    )
+
+    return [
+        free_checker(("kfree", "vfree")),
+        lock_checker(),
+        malloc_fail_checker(),
+        range_check_checker(),
+        user_pointer_checker(),
+    ]
+
+
+def score_project(generated, reports):
+    """(hits, injected, false_positives) against the ground truth.
+
+    A bug counts as found if any report lands in its function or (for
+    the interprocedural kinds) in its helper.
+    """
+    buggy = {b.function for b in generated.bugs}
+    helper_of = {b.function + "_discard": b.function for b in generated.bugs}
+    hits = set()
+    false_positives = []
+    for report in reports:
+        fn = report.function
+        if fn in buggy:
+            hits.add(fn)
+        elif fn in helper_of:
+            hits.add(helper_of[fn])
+        else:
+            false_positives.append(report)
+    return len(hits), len(generated.bugs), false_positives

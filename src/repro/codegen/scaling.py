@@ -1,0 +1,90 @@
+"""Scaling workloads for the §5.2 caching/independence benchmarks.
+
+* :func:`diamond_function` -- n sequential if/else diamonds: 2^n paths but
+  only O(n) distinct (block, state-tuple) pairs, so block-level caching
+  turns exponential path enumeration into linear work.
+
+* :func:`tracked_objects_function` -- k independently freed pointers in
+  one function: the independence condition (§5.2) means work grows
+  linearly, not exponentially, with k.
+
+* :func:`call_chain_module` -- a linear call chain of depth d with many
+  callsites per function: exercises function-summary caching.
+"""
+
+
+def diamond_function(n_diamonds, name="diamonds", use_pointer=True):
+    """A function with ``n_diamonds`` sequential independent branches.
+
+    The freed pointer threads through every diamond so the free checker
+    keeps one live instance across all of them.
+    """
+    lines = ["int %s(struct device *p, int n) {" % name]
+    if use_pointer:
+        lines.append("    kfree(p);")
+    for index in range(n_diamonds):
+        lines.append("    if (n & %d)" % (1 << (index % 16)))
+        lines.append("        n = n + %d;" % (index + 1))
+        lines.append("    else")
+        lines.append("        n = n - %d;" % (index + 1))
+    lines.append("    return n;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tracked_objects_function(k_objects, name="tracked", with_diamonds=2):
+    """A function freeing ``k_objects`` distinct pointers, then running a
+    few diamonds: the number of live SM instances is k throughout."""
+    params = ", ".join("struct device *p%d" % i for i in range(k_objects))
+    lines = ["int %s(%s, int n) {" % (name, params or "int unused")]
+    for index in range(k_objects):
+        lines.append("    kfree(p%d);" % index)
+    for index in range(with_diamonds):
+        lines.append("    if (n & %d)" % (1 << index))
+        lines.append("        n = n + 1;")
+        lines.append("    else")
+        lines.append("        n = n - 1;")
+    lines.append("    return n;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def call_chain_module(depth, callsites_per_level=3, name_prefix="level"):
+    """A call chain ``level_0 -> level_1 -> ... -> level_{depth-1}`` where
+    each function calls the next from several callsites.  Without function
+    summaries the analysis re-traverses each callee once per callsite per
+    path (exponential in depth); with summaries each callee is analyzed
+    once per distinct entry state."""
+    chunks = ["struct device { int flags; int count; int lck; char *buf; };"]
+    for level in range(depth - 1, -1, -1):
+        name = "%s_%d" % (name_prefix, level)
+        if level == depth - 1:
+            body = "    return n + 1;"
+        else:
+            callee = "%s_%d" % (name_prefix, level + 1)
+            calls = "\n".join(
+                "    n = %s(p, n);" % callee for __ in range(callsites_per_level)
+            )
+            body = calls + "\n    return n;"
+        chunks.append(
+            "int %s(struct device *p, int n) {\n%s\n}" % (name, body)
+        )
+    return "\n".join(chunks)
+
+
+def loop_module(n_iters_hint=8, name="looper"):
+    """A loop whose body frees and reassigns a pointer: exercises loop
+    havoc (§8 step 3) and termination via the block cache."""
+    return (
+        "struct device { int flags; int count; int lck; char *buf; };\n"
+        "int %s(struct device *p, int n) {\n"
+        "    int i;\n"
+        "    for (i = 0; i < n; i++) {\n"
+        "        kfree(p);\n"
+        "        p = resurrect(p);\n"
+        "        if (i > %d)\n"
+        "            break;\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n" % (name, n_iters_hint)
+    )

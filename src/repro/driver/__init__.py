@@ -1,0 +1,5 @@
+"""The xgcc driver: two-pass build (§6) and command line interface."""
+
+from repro.driver.project import Project, CompiledUnit
+
+__all__ = ["Project", "CompiledUnit"]

@@ -1,0 +1,276 @@
+"""The ``xgcc`` command line interface.
+
+Usage::
+
+    xgcc --checker free --checker lock file1.c file2.c
+    xgcc --metal my_checker.metal --rank statistical src/*.c
+    xgcc --list-checkers
+"""
+
+import argparse
+import sys
+
+from repro.checkers import ALL_CHECKERS
+from repro.driver.project import Project
+from repro.engine.analysis import AnalysisOptions
+from repro.engine.history import HistoryDatabase
+from repro.metal.language import compile_metal
+from repro.ranking import generic_rank, rank_by_rule_reliability, stratify
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="xgcc",
+        description="metal/xgcc reproduction: system-specific static analysis",
+    )
+    parser.add_argument("files", nargs="*", help="C source files to analyze")
+    parser.add_argument(
+        "--checker",
+        "-c",
+        action="append",
+        default=[],
+        choices=sorted(ALL_CHECKERS),
+        help="built-in checker to run (repeatable)",
+    )
+    parser.add_argument(
+        "--metal",
+        "-m",
+        action="append",
+        default=[],
+        help="metal extension file to compile and run (repeatable)",
+    )
+    parser.add_argument("--list-checkers", action="store_true")
+    parser.add_argument(
+        "--infer",
+        choices=["pairs", "retcheck", "nullarg"],
+        action="append",
+        default=[],
+        help="statistical rule inference: 'pairs' (must-be-paired "
+        "functions), 'retcheck' (must-check-result functions), or "
+        "'nullarg' (must-not-be-NULL argument positions)",
+    )
+    parser.add_argument(
+        "--min-z",
+        type=float,
+        default=1.0,
+        help="z-score threshold for inferred rules (default 1.0)",
+    )
+    parser.add_argument(
+        "--rank",
+        choices=["generic", "severity", "statistical", "none"],
+        default="severity",
+        help="error ranking mode (default: severity + generic)",
+    )
+    parser.add_argument("--history", help="history DB for false-positive suppression")
+    parser.add_argument("--include", "-I", action="append", default=[],
+                        help="preprocessor include path (repeatable)")
+    parser.add_argument("--define", "-D", action="append", default=[],
+                        help="preprocessor define NAME[=VALUE] (repeatable)")
+    parser.add_argument("--no-interprocedural", action="store_true")
+    parser.add_argument("--no-false-path-pruning", action="store_true")
+    parser.add_argument("--no-caching", action="store_true")
+    parser.add_argument("--no-kills", action="store_true")
+    parser.add_argument("--no-synonyms", action="store_true")
+    parser.add_argument("--stats", action="store_true", help="print engine stats")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the why-trace under each report (§3.2)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report output format",
+    )
+    parser.add_argument(
+        "--dump-cfg", action="store_true",
+        help="dump every function's CFG instead of analyzing",
+    )
+    parser.add_argument(
+        "--dump-dot", action="store_true",
+        help="dump CFGs in Graphviz DOT syntax",
+    )
+    parser.add_argument(
+        "--dump-callgraph", action="store_true",
+        help="dump the call graph (roots marked with *)",
+    )
+    parser.add_argument(
+        "--dump-summaries", action="store_true",
+        help="after analyzing, dump Figure-5-style block/suffix summaries",
+    )
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _run(parser, args)
+    except OSError as error:
+        print("xgcc: %s" % error, file=sys.stderr)
+        return 2
+    except Exception as error:  # SourceError and friends: diagnostics
+        from repro.cfront.source import SourceError
+        from repro.metal.language import MetalError
+
+        if isinstance(error, (SourceError, MetalError)):
+            print("xgcc: %s" % error, file=sys.stderr)
+            return 2
+        raise
+
+
+def _report_json(report):
+    return {
+        "checker": report.checker,
+        "message": report.message,
+        "file": report.location.filename,
+        "line": report.location.line,
+        "column": report.location.column,
+        "function": report.function,
+        "severity": report.severity,
+        "rule": report.rule_id,
+        "call_chain": report.call_chain,
+        "trace": [
+            {"event": event, "location": str(location) if location else None}
+            for event, location in report.trace
+        ],
+    }
+
+
+def _make_project(args):
+    defines = {}
+    for item in args.define:
+        name, __, value = item.partition("=")
+        defines[name] = value or "1"
+    project = Project(include_paths=args.include, defines=defines)
+    for path in args.files:
+        project.compile_file(path)
+    return project
+
+
+def _dump_mode(args):
+    from repro.cfg.builder import build_cfg
+    from repro.driver.dump import dump_callgraph, dump_cfg, dump_cfg_dot
+
+    project = _make_project(args)
+    if args.dump_callgraph:
+        print(dump_callgraph(project.callgraph))
+    if args.dump_cfg or args.dump_dot:
+        for name in sorted(project.callgraph.functions):
+            cfg = build_cfg(project.callgraph.functions[name])
+            print(dump_cfg_dot(cfg) if args.dump_dot else dump_cfg(cfg))
+            print()
+    return 0
+
+
+def _run(parser, args):
+
+    if args.list_checkers:
+        for name in sorted(ALL_CHECKERS):
+            print(name)
+        return 0
+
+    if not args.files:
+        parser.error("no input files")
+
+    if args.dump_cfg or args.dump_dot or args.dump_callgraph:
+        return _dump_mode(args)
+
+    extensions = [ALL_CHECKERS[name]() for name in args.checker]
+    for path in args.metal:
+        with open(path) as handle:
+            extensions.append(compile_metal(handle.read(), path))
+    if not extensions and not args.infer:
+        parser.error("no checkers selected (use --checker, --metal, or --infer)")
+
+    from repro.metal.validate import validate as validate_extension
+
+    for extension in extensions:
+        for finding in validate_extension(extension):
+            print("xgcc: %s: %s" % (extension.name, finding), file=sys.stderr)
+            if finding.level == "error":
+                return 2
+
+    project = _make_project(args)
+
+    options = AnalysisOptions(
+        interprocedural=not args.no_interprocedural,
+        false_path_pruning=not args.no_false_path_pruning,
+        caching=not args.no_caching,
+        kills=not args.no_kills,
+        synonyms=not args.no_synonyms,
+    )
+
+    reports = []
+    result = None
+    if extensions:
+        analysis = project.analysis(options)
+        result = analysis.run(extensions)
+        reports.extend(result.reports)
+        if args.dump_summaries:
+            from repro.driver.dump import dump_summaries
+
+            for ext_name, table in result.tables.items():
+                print("### summaries for %s" % ext_name, file=sys.stderr)
+                print(dump_summaries(analysis, table), file=sys.stderr)
+
+    if "pairs" in args.infer:
+        from repro.checkers import infer_pairs, make_pair_checker
+
+        pairs = [
+            p
+            for p in infer_pairs(project.callgraph)
+            if p.z_score >= args.min_z and p.counterexamples > 0
+        ]
+        for pair in pairs:
+            print(
+                "# inferred rule: %s() must be followed by %s() "
+                "(e=%d c=%d z=%.2f)"
+                % (pair.first, pair.second, pair.examples,
+                   pair.counterexamples, pair.z_score),
+                file=sys.stderr,
+            )
+            pair_result = project.run(make_pair_checker(pair.first, pair.second),
+                                      options)
+            reports.extend(pair_result.reports)
+    if "retcheck" in args.infer:
+        from repro.checkers import report_deviant_sites
+
+        reports.extend(
+            report_deviant_sites(project.callgraph, min_z=args.min_z)
+        )
+    if "nullarg" in args.infer:
+        from repro.checkers import report_null_argument_sites
+
+        reports.extend(
+            report_null_argument_sites(project.callgraph, min_z=args.min_z)
+        )
+    if args.history:
+        import os
+
+        db = HistoryDatabase.load(args.history) if os.path.exists(args.history) else HistoryDatabase()
+        reports = db.filter(reports)
+
+    if args.rank == "generic":
+        reports = generic_rank(reports)
+    elif args.rank == "severity":
+        reports = stratify(reports)
+    elif args.rank == "statistical" and result is not None:
+        reports = rank_by_rule_reliability(reports, result.log)
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps([_report_json(r) for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format_trace() if args.trace else report.format())
+    if args.stats and result is not None:
+        for key, value in sorted(result.stats.items()):
+            print("# %s = %s" % (key, value), file=sys.stderr)
+    return 1 if reports else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Human-readable dumps of CFGs, call graphs, and Figure-5-style
+summaries -- the debugging surface for checker writers.
+
+Exposed on the CLI as ``xgcc --dump-cfg`` / ``--dump-callgraph`` /
+``--dump-summaries`` (the latter needs a checker to run first, since
+summaries are an analysis artifact).
+"""
+
+from repro.cfront import astnodes as ast
+from repro.cfront.unparse import unparse
+from repro.cfg.blocks import ReturnMarker
+
+
+def _item_text(item):
+    if isinstance(item, ReturnMarker):
+        if item.expr is None:
+            return "return"
+        return "return %s" % unparse(item.expr)
+    if isinstance(item, ast.VarDecl):
+        return unparse(item).strip()
+    return unparse(item)
+
+
+def _edge_text(edge):
+    label = edge.label
+    if label is None:
+        text = ""
+    elif label is True or label is False:
+        text = "T:" if label else "F:"
+    elif isinstance(label, tuple):
+        text = "case %s:" % (label[1],)
+    else:
+        text = "%s:" % label
+    return "%sB%d" % (text, edge.target.index)
+
+
+def dump_cfg(cfg):
+    """One function's CFG as indented text."""
+    lines = ["CFG %s (%d blocks)" % (cfg.name, len(cfg.blocks))]
+    for block in cfg.blocks:
+        tags = []
+        if block is cfg.entry:
+            tags.append("entry")
+        if block.is_exit:
+            tags.append("exit")
+        if block.is_call_block:
+            tags.append("call")
+        if block.havoc_vars:
+            tags.append("loop-head havoc={%s}" % ",".join(sorted(block.havoc_vars)))
+        header = "  B%d%s" % (block.index, (" [%s]" % ", ".join(tags)) if tags else "")
+        lines.append(header)
+        for item in block.items:
+            lines.append("      %s" % _item_text(item))
+        if block.edges:
+            lines.append("      -> %s" % "  ".join(_edge_text(e) for e in block.edges))
+    return "\n".join(lines)
+
+
+def dump_cfg_dot(cfg):
+    """One function's CFG in Graphviz DOT syntax."""
+    lines = ["digraph \"%s\" {" % cfg.name, "  node [shape=box, fontname=monospace];"]
+    for block in cfg.blocks:
+        body = "\\l".join(_item_text(i).replace('"', '\\"') for i in block.items)
+        shape = ""
+        if block is cfg.entry:
+            shape = ", color=green"
+        elif block.is_exit:
+            shape = ", color=red"
+        lines.append('  B%d [label="B%d\\l%s\\l"%s];' % (
+            block.index, block.index, body, shape))
+    for block in cfg.blocks:
+        for edge in block.edges:
+            label = ""
+            if edge.label is True:
+                label = ' [label="T"]'
+            elif edge.label is False:
+                label = ' [label="F"]'
+            elif isinstance(edge.label, tuple):
+                label = ' [label="case %s"]' % (edge.label[1],)
+            elif edge.label == "default":
+                label = ' [label="default"]'
+            lines.append("  B%d -> B%d%s;" % (block.index, edge.target.index, label))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dump_callgraph(callgraph):
+    """The call graph with roots marked."""
+    roots = set(callgraph.roots())
+    lines = ["callgraph (%d functions, %d roots)" % (len(callgraph), len(roots))]
+    for name in sorted(callgraph.functions):
+        marker = "*" if name in roots else " "
+        callees = sorted(
+            c for c in callgraph.callees.get(name, ()) if c in callgraph.functions
+        )
+        external = sorted(
+            c for c in callgraph.callees.get(name, ()) if c not in callgraph.functions
+        )
+        line = " %s %s -> %s" % (marker, name, ", ".join(callees) or "(leaf)")
+        if external:
+            line += "   [external: %s]" % ", ".join(external)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def dump_summaries(analysis, table, function_names=None):
+    """Figure-5-style per-block summary rows after an analysis run."""
+    lines = []
+    names = function_names or sorted(analysis.callgraph.functions)
+    for name in names:
+        cfg = analysis._cfg(name)
+        lines.append("== %s ==" % name)
+        for block in cfg.blocks:
+            summary = table.get(block)
+            block_rows = sorted(
+                e.describe() for e in summary.edges if not e.is_global_only
+            )
+            suffix_rows = sorted(
+                e.describe() for e in summary.suffix if not e.is_global_only
+            )
+            lines.append(
+                "  B%-3d %s" % (block.index, "; ".join(block_rows) or "(none)")
+            )
+            lines.append("       sfx: %s" % ("; ".join(suffix_rows) or "(none)"))
+    return "\n".join(lines)

@@ -1,0 +1,867 @@
+"""The xgcc analysis engine: DFS with caching (Fig. 4) plus the top-down
+context-sensitive interprocedural algorithm (§6.3).
+
+The engine applies one extension at a time to the CFG, one execution path
+at a time, starting at the callgraph roots.  Composition happens across
+sequential runs through the shared :class:`AnnotationStore`.
+"""
+
+import sys
+
+from repro.cfront import astnodes as ast
+from repro.cfg.blocks import ReturnMarker
+from repro.cfg.builder import build_cfg
+from repro.cfg.callgraph import CallGraph
+from repro.metal.patterns import MatchContext
+from repro.metal.sm import GLOBAL, PLACEHOLDER, STOP, PathSplit, StateRef
+from repro.engine.composition import AnnotationStore
+from repro.engine.context import ActionContext, StopPath
+from repro.engine.errors import ErrorLog
+from repro.engine.falsepath import PathConstraints
+from repro.engine.interproc import (
+    ArgumentMap,
+    collect_applicable_edges,
+    partition_exit_states,
+    refine,
+    restore,
+)
+from repro.engine.kills import (
+    definition_target,
+    kill_for_declaration,
+    kill_for_definition,
+)
+from repro.engine.state import SMInstance, VarInstance, state_tuples
+from repro.engine.summaries import (
+    TRANSITION,
+    Edge,
+    SummaryTable,
+    make_add_edge,
+    make_transition_edge,
+    relax,
+)
+from repro.engine.synonyms import maybe_create_synonym, mirror_transition
+
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 100000))
+
+
+class AnalysisOptions:
+    """Engine switches.  Defaults mirror the paper's described behaviour;
+    the benchmarks toggle individual pieces for ablations."""
+
+    def __init__(
+        self,
+        interprocedural=True,
+        false_path_pruning=True,
+        kills=True,
+        synonyms=True,
+        caching=True,
+        propagate_return_state=False,
+        by_value_params=False,
+        max_steps=20_000_000,
+    ):
+        self.interprocedural = interprocedural
+        self.false_path_pruning = false_path_pruning
+        self.kills = kills
+        self.synonyms = synonyms
+        self.caching = caching
+        self.propagate_return_state = propagate_return_state
+        self.by_value_params = by_value_params
+        self.max_steps = max_steps
+
+
+class AnalysisBudgetExceeded(Exception):
+    """Raised internally when max_steps is hit; surfaced as truncation."""
+
+
+class AnalysisResult:
+    """The outcome of applying extensions to a source base."""
+
+    def __init__(self, log, tables, stats, truncated=False):
+        self.log = log
+        self.tables = tables  # extension name -> SummaryTable
+        self.stats = stats
+        self.truncated = truncated
+
+    @property
+    def reports(self):
+        return self.log.reports
+
+    def reports_for(self, checker_name):
+        return [r for r in self.log.reports if r.checker == checker_name]
+
+    def __repr__(self):
+        return "<AnalysisResult %d reports, stats=%r>" % (len(self.log), self.stats)
+
+
+class _FunctionContext:
+    """Per-function data the traversal needs."""
+
+    def __init__(self, name, cfg):
+        self.name = name
+        self.cfg = cfg
+        self.param_names = {p.name for p in cfg.decl.params if p.name}
+        self.local_names = cfg.local_names()
+        self.pure_locals = self.local_names - self.param_names
+        self.file = cfg.decl.location.filename
+
+    def local_edge_filter(self, edge):
+        """Suffix-summary filter: drop edges on function-local objects
+        ("the analysis would never use these edges", Fig. 5)."""
+        snapshot = edge.end_snapshot
+        if snapshot is None:
+            return False
+        return bool(ast.identifiers_in(snapshot.obj) & self.pure_locals)
+
+
+class _BlockRun:
+    """Entry snapshot of one block traversal, for summary recording."""
+
+    __slots__ = ("block", "entry_gstate", "entry")
+
+    def __init__(self, block, sm):
+        self.block = block
+        self.entry_gstate = sm.gstate
+        self.entry = [
+            (inst.tuple_key(sm.gstate), inst.uid, inst.copy())
+            for inst in sm.live_instances()
+        ]
+
+
+class Analysis:
+    """Applies metal extensions to a source base."""
+
+    def __init__(self, units=None, options=None, callgraph=None, static_vars=None):
+        """``units`` is an iterable of TranslationUnits (or pass a prebuilt
+        ``callgraph``).  ``static_vars`` maps file-scope static variable
+        names to their file (drives the §6.1 inactivation rule)."""
+        if callgraph is None:
+            callgraph = CallGraph.from_units(units or [])
+        self.callgraph = callgraph
+        self.options = options or AnalysisOptions()
+        self.annotations = AnnotationStore()
+        self.static_vars = dict(static_vars or {})
+        self.log = ErrorLog()
+        self._cfgs = {}
+        self._fctxs = {}
+        self._user_globals = {}
+        self.stats = {
+            "points_visited": 0,
+            "blocks_traversed": 0,
+            "paths_completed": 0,
+            "cache_hits": 0,
+            "function_cache_hits": 0,
+            "calls_followed": 0,
+            "errors": 0,
+        }
+        # Per-run state.
+        self._table = None
+        self._ext = None
+        self._call_stack = []
+        self._steps = 0
+        self._points_cache = {}
+        self._truncated = False
+        self._return_records = []
+        self._current_block = None
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, extensions, roots=None):
+        """Apply each extension (in order) to the whole source base."""
+        if not isinstance(extensions, (list, tuple)):
+            extensions = [extensions]
+        tables = {}
+        for ext in extensions:
+            tables[ext.name] = self.run_one(ext, roots=roots)
+        self.stats["errors"] = len(self.log)
+        return AnalysisResult(self.log, tables, dict(self.stats), self._truncated)
+
+    def run_one(self, ext, roots=None):
+        """Apply a single extension; returns its SummaryTable."""
+        self._ext = ext
+        self._table = SummaryTable()
+        self._steps = 0
+        if roots is None:
+            if self.options.interprocedural:
+                roots = self.callgraph.roots()
+            else:
+                roots = sorted(self.callgraph.functions)
+        for root in roots:
+            if root not in self.callgraph.functions:
+                continue
+            try:
+                self._run_root(ext, root)
+            except AnalysisBudgetExceeded:
+                self._truncated = True
+                break
+        return self._table
+
+    def run_on_function(self, ext, name):
+        """Test helper: analyze one function as the only root."""
+        return self.run(ext, roots=[name])
+
+    # -- engine state helpers ----------------------------------------------------
+
+    def call_depth(self):
+        return max(0, len(self._call_stack) - 1)
+
+    def current_function_name(self):
+        return self._call_stack[-1] if self._call_stack else None
+
+    def user_globals(self, ext):
+        return self._user_globals.setdefault(ext.name, {})
+
+    def _cfg(self, name):
+        cfg = self._cfgs.get(name)
+        if cfg is None:
+            cfg = build_cfg(self.callgraph.functions[name])
+            self._cfgs[name] = cfg
+        return cfg
+
+    def _fctx(self, name):
+        fctx = self._fctxs.get(name)
+        if fctx is None:
+            fctx = _FunctionContext(name, self._cfg(name))
+            self._fctxs[name] = fctx
+        return fctx
+
+    def _check_budget(self):
+        if self.options.max_steps is not None and self._steps > self.options.max_steps:
+            raise AnalysisBudgetExceeded()
+
+    # -- roots ----------------------------------------------------------------------
+
+    def _run_root(self, ext, root):
+        fctx = self._fctx(root)
+        sm = SMInstance(ext)
+        constraints = PathConstraints()
+        self._call_stack = [root]
+        try:
+            self._traverse(fctx, sm, constraints, fctx.cfg.entry, [])
+        except StopPath:
+            pass
+
+    # -- the DFS (Fig. 4) --------------------------------------------------------------
+
+    def _traverse(self, fctx, sm, constraints, block, backtrace):
+        self._check_budget()
+        if self.options.caching:
+            summary = self._table.get(block)
+            tuples = state_tuples(sm)
+            missed = {t for t in tuples if not summary.covers(t)}
+            if not missed:
+                self.stats["cache_hits"] += 1
+                relax(backtrace + [block], self._table, fctx.local_edge_filter)
+                return
+            if missed != tuples:
+                self._restrict(sm, missed)
+        self.stats["blocks_traversed"] += 1
+        backtrace = backtrace + [block]
+        run = _BlockRun(block, sm)
+        if block.havoc_vars and self.options.false_path_pruning:
+            constraints.havoc(block.havoc_vars)
+        points = self._points_of(block)
+        self._run_points(fctx, sm, constraints, block, points, 0, run, backtrace)
+
+    def _restrict(self, sm, missed):
+        """Keep only the instances whose tuples were cache misses (§5.3)."""
+        gstate = sm.gstate
+        for inst in list(sm.live_instances()):
+            if inst.tuple_key(gstate) not in missed:
+                sm.remove(inst)
+
+    def _points_of(self, block):
+        cached = self._points_cache.get(id(block))
+        if cached is not None:
+            return cached
+        points = []
+        for item_idx, item in enumerate(block.items):
+            if isinstance(item, ast.VarDecl):
+                points.append(("decl", item, item_idx))
+            elif isinstance(item, ReturnMarker):
+                points.append(("return", item, item_idx))
+            else:
+                for node in ast.execution_order(item):
+                    points.append(("expr", node, item_idx))
+        self._points_cache[id(block)] = points
+        return points
+
+    def point_is_branch_condition(self, point):
+        """Is ``point`` the branch condition of the block being analyzed?
+        (Backs the mc_is_branch callout: path-specific null checks.)"""
+        block = self._current_block
+        return block is not None and block.branch_cond is point
+
+    def _run_points(self, fctx, sm, constraints, block, points, idx, run, backtrace):
+        while idx < len(points):
+            self._current_block = block
+            kind, node, item_idx = points[idx]
+            self._steps += 1
+            self.stats["points_visited"] += 1
+            self._check_budget()
+            if kind == "decl":
+                if self.options.kills:
+                    kill_for_declaration(sm, node.name)
+                if self.options.false_path_pruning:
+                    constraints.havoc([node.name])
+            elif kind == "return":
+                self._apply_extension(fctx, sm, node, (id(block), item_idx))
+                if self.options.propagate_return_state and self._return_records:
+                    self._record_return_state(sm, node)
+            else:
+                continuations = self._process_expr_point(
+                    fctx, sm, constraints, block, node, item_idx
+                )
+                if continuations is not None:
+                    if len(continuations) == 1:
+                        sm, constraints = continuations[0]
+                    else:
+                        for new_sm, new_constraints in continuations:
+                            try:
+                                self._run_points(
+                                    fctx,
+                                    new_sm,
+                                    new_constraints,
+                                    block,
+                                    points,
+                                    idx + 1,
+                                    run,
+                                    backtrace,
+                                )
+                            except StopPath:
+                                pass
+                        return
+            idx += 1
+        self._finish_block(fctx, sm, constraints, block, run, backtrace)
+
+    def _process_expr_point(self, fctx, sm, constraints, block, point, item_idx):
+        """Apply kills, synonyms, value tracking and the extension at one
+        program point; returns continuation list when a call was followed."""
+        creation_site = (id(block), item_idx)
+        target = definition_target(point)
+        if target is not None:
+            new_synonym = None
+            if self.options.synonyms and isinstance(point, ast.Assign):
+                new_synonym = maybe_create_synonym(sm, point)
+                if new_synonym is not None:
+                    new_synonym.created_at = creation_site
+            if self.options.kills:
+                keep = [new_synonym] if new_synonym is not None else []
+                kill_for_definition(sm, target, keep=keep)
+            if self.options.false_path_pruning:
+                self._track_definition(constraints, point, target)
+
+        matched_call = self._apply_extension(fctx, sm, point, creation_site)
+
+        if isinstance(point, ast.Call) and self.annotations.get(point, "pathkill"):
+            # A composed path-kill extension flagged this call (§3.2):
+            # "When a subsequent extension sees a flagged function call, it
+            # stops traversing the current path."
+            raise StopPath()
+
+        if (
+            isinstance(point, ast.Call)
+            and self.options.interprocedural
+            and not matched_call
+        ):
+            callee = point.callee_name()
+            if callee and callee in self.callgraph.functions:
+                return self._follow_call(fctx, sm, constraints, point)
+        return None
+
+    def _track_definition(self, constraints, point, target):
+        if isinstance(point, ast.Assign):
+            if point.op == "=":
+                constraints.assign(target, point.value)
+            else:
+                desugared = ast.Binary(point.op[:-1], target, point.value)
+                constraints.assign(target, desugared)
+        else:  # ++ / --
+            op = "+" if point.op == "++" else "-"
+            desugared = ast.Binary(op, target, ast.IntLit(1))
+            constraints.assign(target, desugared)
+
+    # -- extension application (§5.1) ----------------------------------------------------
+
+    def _apply_extension(self, fctx, sm, point, creation_site, end_of_path=False):
+        ext = sm.extension
+        matched_this_point = False
+        touched = set()
+
+        # Variable-specific instances first.
+        for inst in list(sm.active_vars):
+            if inst.inactive or inst not in sm.active_vars:
+                continue
+            if inst.created_at == creation_site:
+                # "An instance cannot trigger a transition at the statement
+                # where that instance was created" (§3.1).
+                continue
+            for rule in ext.specific_transitions(inst.value, inst.var_name):
+                bindings = {inst.var_name: inst.obj}
+                mctx = MatchContext(point, bindings, self, end_of_path)
+                if rule.pattern.match(point, bindings, mctx):
+                    matched_this_point = True
+                    touched.add((inst.var_name, inst.obj_key))
+                    self._execute_instance_rule(sm, rule, inst, bindings, point)
+                    break
+
+        # Then global transitions.
+        for rule in ext.global_transitions(sm.gstate):
+            bindings = {}
+            mctx = MatchContext(point, bindings, self, end_of_path)
+            if rule.pattern.match(point, bindings, mctx):
+                matched_this_point = True
+                self._execute_global_rule(
+                    sm, rule, bindings, point, creation_site, touched
+                )
+        return matched_this_point
+
+    def _execute_instance_rule(self, sm, rule, inst, bindings, point):
+        if rule.action is not None:
+            ctx = ActionContext(self, sm, point, bindings, inst)
+            rule.action(ctx)
+        if inst not in sm.active_vars:
+            return  # the action removed it
+        if isinstance(rule.target, PathSplit):
+            sm.pending_splits.append((inst, rule.target, point))
+        elif isinstance(rule.target, StateRef):
+            self._set_instance_value(
+                sm, inst, rule.target.value, getattr(point, "location", None)
+            )
+
+    def _set_instance_value(self, sm, inst, value, location=None):
+        if value == STOP:
+            mirror_transition(sm, inst, STOP)
+            sm.remove(inst)
+        else:
+            inst.record("transitioned to %s" % value, location)
+            inst.value = value
+            mirror_transition(sm, inst, value, inst.data)
+
+    def _execute_global_rule(self, sm, rule, bindings, point, creation_site, touched):
+        ext = sm.extension
+        if rule.creates_instance:
+            target_ref = rule.target
+            if isinstance(target_ref, PathSplit):
+                target_ref = target_ref.true_state
+            var_name = target_ref.var
+            obj = bindings.get(var_name)
+            if obj is None:
+                return
+            key = ast.structural_key(obj)
+            if (var_name, key) in touched or sm.find(key, var_name) is not None:
+                return  # add edges apply only when nothing is known about t
+            target = rule.target
+            value = (
+                target.true_state.value
+                if isinstance(target, PathSplit)
+                else target.value
+            )
+            inst = VarInstance(var_name, obj, value)
+            inst.created_at = creation_site
+            inst.created_location = getattr(point, "location", None)
+            inst.origin_location = inst.created_location
+            inst.call_depth_at_creation = self.call_depth()
+            inst.record(
+                "entered state %s.%s" % (var_name, value), inst.created_location
+            )
+            if isinstance(obj, ast.Ident) and obj.name in self.static_vars:
+                inst.file_scope_file = self.static_vars[obj.name]
+            sm.add(inst)
+            if rule.action is not None:
+                ctx = ActionContext(self, sm, point, bindings, inst)
+                rule.action(ctx)
+            if inst not in sm.active_vars:
+                return
+            if isinstance(target, PathSplit):
+                sm.pending_splits.append((inst, target, point))
+            elif value == STOP:
+                sm.remove(inst)
+        else:
+            if rule.action is not None:
+                ctx = ActionContext(self, sm, point, bindings, None)
+                rule.action(ctx)
+            if isinstance(rule.target, PathSplit):
+                sm.pending_splits.append((None, rule.target, point))
+            elif isinstance(rule.target, StateRef) and rule.target.is_global:
+                sm.gstate = rule.target.value
+
+    # -- block completion: summaries + successors ------------------------------------------
+
+    def _finish_block(self, fctx, sm, constraints, block, run, backtrace):
+        if block.is_exit:
+            self._at_exit(fctx, sm, constraints, block, run, backtrace)
+            return
+        self._record_block_run(run, sm)
+        if block.branch_cond is not None and any(
+            e.label in (True, False) for e in block.edges
+        ):
+            self._branch_successors(fctx, sm, constraints, block, backtrace)
+            return
+        if block.switch_cond is not None and any(
+            isinstance(e.label, tuple) or e.label == "default" for e in block.edges
+        ):
+            self._switch_successors(fctx, sm, constraints, block, backtrace)
+            return
+        successors = [e.target for e in block.edges]
+        if not successors:
+            # A dead end that is not the exit block (e.g. an empty goto
+            # target); treat as a path end.
+            self.stats["paths_completed"] += 1
+            relax(backtrace, self._table, fctx.local_edge_filter)
+            return
+        if sm.pending_splits:
+            self._fork_pending_splits(fctx, sm, constraints, successors, backtrace)
+            return
+        for index, succ in enumerate(successors):
+            new_sm = sm if index == len(successors) - 1 else sm.copy()
+            new_constraints = (
+                constraints
+                if index == len(successors) - 1
+                else constraints.copy()
+            )
+            try:
+                self._traverse(fctx, new_sm, new_constraints, succ, backtrace)
+            except StopPath:
+                pass
+
+    def _fork_pending_splits(self, fctx, sm, constraints, successors, backtrace):
+        """A path-specific transition fired outside a branch condition: the
+        modelled function had two outcomes, so the path itself splits."""
+        for outcome in (True, False):
+            new_sm = sm.copy()
+            self._resolve_splits(new_sm, outcome, None)
+            for succ in successors:
+                try:
+                    self._traverse(
+                        fctx, new_sm.copy(), constraints.copy(), succ, backtrace
+                    )
+                except StopPath:
+                    pass
+
+    def _branch_successors(self, fctx, sm, constraints, block, backtrace):
+        cond = block.branch_cond
+        verdict = None
+        if self.options.false_path_pruning:
+            verdict = constraints.evaluate(cond)
+        for edge in block.edges:
+            if edge.label not in (True, False):
+                continue
+            if verdict is True and edge.label is False:
+                continue  # pruned (§8 step 5)
+            if verdict is False and edge.label is True:
+                continue
+            new_sm = sm.copy()
+            self._resolve_splits(new_sm, edge.label, cond)
+            new_constraints = constraints.copy()
+            if self.options.false_path_pruning:
+                new_constraints.assume(cond, edge.label)
+                if new_constraints.infeasible:
+                    continue
+            for inst in new_sm.active_vars:
+                inst.conditionals_crossed += 1
+            try:
+                self._traverse(fctx, new_sm, new_constraints, edge.target, backtrace)
+            except StopPath:
+                pass
+
+    def _switch_successors(self, fctx, sm, constraints, block, backtrace):
+        cond = block.switch_cond
+        known = None
+        if self.options.false_path_pruning:
+            key = constraints.term(cond)
+            if key is not None:
+                known = constraints.closure.const_of(key)
+        for edge in block.edges:
+            if isinstance(edge.label, tuple) and edge.label[0] == "case":
+                value = edge.label[1]
+                if known is not None and isinstance(value, int) and value != known:
+                    continue
+                new_constraints = constraints.copy()
+                if self.options.false_path_pruning and isinstance(value, int):
+                    new_constraints.assume(
+                        ast.Binary("==", cond, ast.IntLit(value)), True
+                    )
+                    if new_constraints.infeasible:
+                        continue
+            else:
+                new_constraints = constraints.copy()
+            new_sm = sm.copy()
+            for inst in new_sm.active_vars:
+                inst.conditionals_crossed += 1
+            try:
+                self._traverse(fctx, new_sm, new_constraints, edge.target, backtrace)
+            except StopPath:
+                pass
+
+    def _resolve_splits(self, sm, branch_label, cond):
+        for inst, split, matched_point in sm.pending_splits:
+            flips = 0
+            if cond is not None:
+                found = _polarity(cond, matched_point)
+                if found is not None:
+                    flips = found
+            effective = branch_label if flips % 2 == 0 else not branch_label
+            ref = split.true_state if effective else split.false_state
+            if inst is None:
+                if ref is not None and ref.is_global:
+                    sm.gstate = ref.value
+            elif inst in sm.active_vars and ref is not None:
+                self._set_instance_value(sm, inst, ref.value)
+        sm.pending_splits = []
+
+    def _record_block_run(self, run, sm):
+        summary = self._table.get(run.block)
+        g0 = run.entry_gstate
+        g1 = sm.gstate
+        # The placeholder edge is a real cache entry only when the
+        # placeholder tuple actually was the state that reached the block
+        # (no live instances); otherwise it is recorded for relaxation
+        # only (§5.3 / §6.2 -- see Edge.relax_only).
+        summary.edges.add(
+            Edge(
+                TRANSITION,
+                (g0, PLACEHOLDER),
+                (g1, PLACEHOLDER),
+                relax_only=bool(run.entry),
+            )
+        )
+        current = {inst.uid: inst for inst in sm.active_vars}
+        entry_uids = set()
+        for __, uid, entry_copy in run.entry:
+            entry_uids.add(uid)
+            exit_inst = current.get(uid)
+            summary.edges.add(make_transition_edge(g0, entry_copy, g1, exit_inst))
+        for inst in sm.active_vars:
+            if inst.uid not in entry_uids and not inst.inactive:
+                summary.edges.add(make_add_edge(g0, g1, inst))
+
+    # -- path ends -------------------------------------------------------------------------
+
+    def _at_exit(self, fctx, sm, constraints, block, run, backtrace):
+        ext = sm.extension
+        if ext.uses_end_of_path():
+            is_root = self.call_depth() == 0
+            end_point = _EndOfPathPoint(fctx)
+            for inst in list(sm.live_instances()):
+                leaves_scope = bool(
+                    ast.identifiers_in(inst.obj) & fctx.pure_locals
+                )
+                if is_root or leaves_scope:
+                    self._apply_end_of_path(sm, inst, end_point)
+            if is_root:
+                self._apply_extension(
+                    fctx, sm, end_point, (id(block), -1), end_of_path=True
+                )
+        # Locals leave scope at function exit regardless of the checker.
+        for inst in list(sm.active_vars):
+            if ast.identifiers_in(inst.obj) & fctx.pure_locals:
+                sm.remove(inst)
+        self._record_block_run(run, sm)
+        self.stats["paths_completed"] += 1
+        relax(backtrace, self._table, fctx.local_edge_filter)
+
+    def _apply_end_of_path(self, sm, inst, end_point):
+        ext = sm.extension
+        if inst not in sm.active_vars or inst.inactive:
+            return
+        for rule in ext.specific_transitions(inst.value, inst.var_name):
+            if not rule.pattern.mentions_end_of_path():
+                continue
+            bindings = {inst.var_name: inst.obj}
+            mctx = MatchContext(end_point, bindings, self, end_of_path=True)
+            if rule.pattern.match(end_point, bindings, mctx):
+                self._execute_instance_rule(sm, rule, inst, bindings, end_point)
+                break
+
+    def _record_return_state(self, sm, marker):
+        if marker.expr is None:
+            return
+        inst = sm.find(ast.structural_key(marker.expr))
+        if inst is not None:
+            self._return_records[-1].append(inst.copy())
+
+    # -- interprocedural (§6) ----------------------------------------------------------------
+
+    def _follow_call(self, fctx, sm, constraints, call):
+        callee_name = call.callee_name()
+        callee_decl = self.callgraph.functions[callee_name]
+        callee_cfg = self._cfg(callee_name)
+        callee_fctx = self._fctx(callee_name)
+        argmap = ArgumentMap(call, callee_decl)
+
+        refined, saved = refine(sm, argmap, fctx.local_names, callee_fctx.file)
+        for inst in refined.active_vars:
+            if inst.inactive and inst.file_scope_file == callee_fctx.file:
+                inst.inactive = False
+
+        function_summary = self._table.get(callee_cfg.entry).suffix
+        tuples = state_tuples(refined)
+        hit = all(
+            any(
+                e.kind == TRANSITION and not e.relax_only
+                for e in function_summary.with_start(t)
+            )
+            for t in tuples
+        )
+
+        return_states = []
+        if hit:
+            self.stats["function_cache_hits"] += 1
+        elif callee_name in self._call_stack:
+            # Recursion: "our algorithm assumes that the existing function
+            # summary is sufficient" (§7).
+            pass
+        else:
+            self.stats["calls_followed"] += 1
+            self._call_stack.append(callee_name)
+            if self.options.propagate_return_state:
+                self._return_records.append([])
+            callee_constraints = self._refine_constraints(constraints, argmap)
+            try:
+                self._traverse(
+                    callee_fctx,
+                    refined.copy(),
+                    callee_constraints,
+                    callee_cfg.entry,
+                    [],
+                )
+            except StopPath:
+                pass
+            if self.options.propagate_return_state:
+                return_states = self._return_records.pop()
+            self._call_stack.pop()
+
+        assignments, add_edges, global_edges, __ = collect_applicable_edges(
+            refined, function_summary
+        )
+        if not assignments and not add_edges and not global_edges and not len(
+            function_summary
+        ):
+            partitions = [refined.copy()]  # unanalyzed recursive callee
+        else:
+            partitions = partition_exit_states(
+                refined, assignments, add_edges, global_edges
+            )
+        for part in partitions:
+            for inst in refined.active_vars:
+                if inst.inactive and part.find(inst.obj_key) is None:
+                    part.add(inst.copy())
+
+        restored = restore(partitions, saved, argmap, sm, callee_fctx.local_names)
+
+        # File-scope variables re-enter scope when the analysis is back in
+        # their file (and leave it again otherwise) -- §6.1.
+        for new_sm in restored:
+            for inst in new_sm.active_vars:
+                if inst.file_scope_file is not None:
+                    inst.inactive = inst.file_scope_file != fctx.file
+
+        if self.options.by_value_params:
+            self._revert_by_value(restored, saved, sm, argmap)
+        if self.options.propagate_return_state and return_states:
+            self._attach_return_state(restored, return_states, call)
+
+        if self.options.false_path_pruning:
+            self._havoc_after_call(constraints, argmap)
+
+        out = []
+        for index, new_sm in enumerate(restored):
+            new_constraints = constraints if index == 0 else constraints.copy()
+            out.append((new_sm, new_constraints))
+        if not out:
+            out.append((sm, constraints))
+        return out
+
+    def _refine_constraints(self, constraints, argmap):
+        """Seed the callee's value tracking with known-constant arguments."""
+        callee = PathConstraints()
+        for actual, base, formal, addrof in argmap.pairs:
+            if addrof:
+                continue
+            key = constraints.term(actual)
+            if key is None:
+                continue
+            const = constraints.closure.const_of(key)
+            if const is not None:
+                callee.assign(ast.Ident(formal), ast.IntLit(const))
+        return callee
+
+    def _havoc_after_call(self, constraints, argmap):
+        for actual, base, formal, addrof in argmap.pairs:
+            if addrof and isinstance(base, ast.Ident):
+                constraints.havoc([base.name])
+
+    def _revert_by_value(self, restored, saved, original_sm, argmap):
+        """Rule 1 by-value restore: state(xa) unchanged across the call for
+        plain (non-indirected) actuals -- whatever the callee did to the
+        formal itself, the actual keeps its pre-call state (Table 2)."""
+        plain_actual_keys = {
+            ast.structural_key(actual)
+            for actual, __, __, addrof in argmap.pairs
+            if not addrof
+        }
+        originals = {
+            inst.obj_key: inst
+            for inst in original_sm.active_vars
+            if inst.obj_key in plain_actual_keys
+        }
+        for new_sm in restored:
+            for obj_key in plain_actual_keys:
+                original = originals.get(obj_key)
+                inst = new_sm.find(obj_key)
+                if original is not None:
+                    if inst is not None:
+                        inst.value = original.value
+                        inst.data = dict(original.data)
+                    else:
+                        new_sm.add(original.copy())
+                elif inst is not None:
+                    new_sm.remove(inst)
+
+    def _attach_return_state(self, restored, return_states, call):
+        """Extension beyond the paper (option-gated): state attached to the
+        callee's return expression transfers to the call expression."""
+        snapshot = return_states[0]
+        for new_sm in restored:
+            if new_sm.find(ast.structural_key(call)) is None:
+                clone = snapshot.copy()
+                VarInstance._next_uid[0] += 1
+                clone.uid = VarInstance._next_uid[0]
+                clone.retarget(call)
+                new_sm.add(clone)
+
+
+class _EndOfPathPoint:
+    """The synthetic program point $end_of_path$ transitions match at."""
+
+    def __init__(self, fctx):
+        self.location = fctx.cfg.decl.location
+        self._fields = ()
+
+    def walk(self):
+        yield self
+
+    def children(self):
+        return iter(())
+
+
+def _polarity(cond, node):
+    """Count logical negations between a branch condition's root and the
+    matched node; None when the node is not inside the condition."""
+    if cond is node:
+        return 0
+    if not isinstance(cond, ast.Node):
+        return None
+    if isinstance(cond, ast.Unary) and cond.op == "!" and not cond.postfix:
+        inner = _polarity(cond.operand, node)
+        return None if inner is None else inner + 1
+    if isinstance(cond, ast.Binary) and cond.op in ("==", "!="):
+        for side, other in ((cond.left, cond.right), (cond.right, cond.left)):
+            inner = _polarity(side, node)
+            if inner is not None and isinstance(other, ast.IntLit) and other.value == 0:
+                return inner + (1 if cond.op == "==" else 0)
+    for child in cond.children():
+        inner = _polarity(child, node)
+        if inner is not None:
+            return inner
+    return None

@@ -1,0 +1,40 @@
+"""Extension composition via AST annotations (§3.2).
+
+"Extensions can be composed such that each extension uses the results of
+the previous one in its own analysis.  Extensions implement this
+composition by using xgcc's internal interface to annotate the ASTs with
+arbitrary data values.  Subsequent extensions can retrieve and use these
+values."
+
+Annotations are keyed by AST node identity, so they survive across the
+sequential runs of composed extensions (the trees are shared).
+"""
+
+
+class AnnotationStore:
+    """Arbitrary data values attached to AST nodes."""
+
+    def __init__(self):
+        self._data = {}
+
+    def put(self, node, key, value):
+        self._data.setdefault(id(node), {})[key] = value
+        # Hold a reference so id() stays unique for the store's lifetime.
+        self._data[id(node)].setdefault("$node", node)
+
+    def get(self, node, key, default=None):
+        slot = self._data.get(id(node))
+        if slot is None:
+            return default
+        return slot.get(key, default)
+
+    def nodes_with(self, key):
+        """All (node, value) pairs annotated under ``key``."""
+        out = []
+        for slot in self._data.values():
+            if key in slot:
+                out.append((slot["$node"], slot[key]))
+        return out
+
+    def __len__(self):
+        return len(self._data)

@@ -1,0 +1,51 @@
+"""Cross-version false-positive suppression (§8, "History").
+
+"A simple alternative is to just remember false positives from past
+versions and suppress them in future versions.  We match error reports
+across versions by comparing file name, function name, variable names
+involved in the analysis, and the actual error itself as stated by the
+checker.  These fields are relatively invariant under edits (unlike, for
+example, line numbers)."
+"""
+
+import json
+
+
+class HistoryDatabase:
+    """Remembered false positives from earlier versions of a code base."""
+
+    def __init__(self):
+        self._suppressed = set()
+
+    def suppress(self, report):
+        """Mark a report (inspected and judged a false positive) for
+        suppression in future versions."""
+        self._suppressed.add(report.history_key())
+
+    def suppress_key(self, checker, filename, function, variable, message):
+        self._suppressed.add((checker, filename, function, variable, message))
+
+    def is_suppressed(self, report):
+        return report.history_key() in self._suppressed
+
+    def filter(self, reports):
+        """Drop reports matching a remembered false positive."""
+        return [r for r in reports if not self.is_suppressed(r)]
+
+    def __len__(self):
+        return len(self._suppressed)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path):
+        rows = [list(key) for key in sorted(self._suppressed, key=repr)]
+        with open(path, "w") as handle:
+            json.dump(rows, handle, indent=2)
+
+    @classmethod
+    def load(cls, path):
+        db = cls()
+        with open(path) as handle:
+            for row in json.load(handle):
+                db._suppressed.add(tuple(row))
+        return db

@@ -1,0 +1,297 @@
+"""Refine and restore across function calls (§6.1, Table 2) and the
+summary application / disjoint-exit-state partitioning of §6.3.
+
+Refine retargets the extension state from the caller's scope into the
+callee's; restore maps it back.  The Table 2 rules -- and their
+generalization "at all levels of indirection" -- are implemented as tree
+substitution: wherever the actual parameter's tree occurs inside a tracked
+object, it is replaced by the formal parameter (or, for ``&x`` actuals, by
+``*formal``), and inversely on return.
+"""
+
+from repro.cfront import astnodes as ast
+from repro.metal.sm import PLACEHOLDER, STOP
+from repro.engine.state import SMInstance, VarInstance
+from repro.engine.summaries import ADD, TRANSITION
+
+
+class ArgumentMap:
+    """The actual<->formal correspondence for one callsite."""
+
+    def __init__(self, call, callee_decl):
+        self.pairs = []  # (actual_tree, base_tree, formal_name, addrof)
+        for actual, param in zip(call.args, callee_decl.params):
+            if param.name is None:
+                continue
+            if isinstance(actual, ast.Unary) and actual.op == "&" and not actual.postfix:
+                # Rule 2: &xa passed as xf -- state(xa) becomes state(*xf).
+                self.pairs.append((actual, actual.operand, param.name, True))
+            else:
+                self.pairs.append((actual, actual, param.name, False))
+
+    def to_callee(self, obj):
+        """Map a caller-scope object into the callee scope, or None."""
+        for __, base, formal, addrof in self.pairs:
+            base_key = ast.structural_key(base)
+            if not _mentions_subtree(obj, base_key):
+                continue
+            if addrof:
+                replacement = ast.Unary("*", ast.Ident(formal))
+            else:
+                replacement = ast.Ident(formal)
+            return simplify(_substitute(obj, base_key, replacement))
+        return None
+
+    def to_caller(self, obj):
+        """Map a callee-scope object back into the caller scope, or None if
+        it does not involve any formal parameter."""
+        for __, base, formal, addrof in self.pairs:
+            formal_key = ast.structural_key(ast.Ident(formal))
+            if not _mentions_subtree(obj, formal_key):
+                continue
+            if addrof:
+                replacement = ast.Unary("&", base)
+            else:
+                replacement = base
+            return simplify(_substitute(obj, formal_key, replacement))
+        return None
+
+    def formal_names(self):
+        return {formal for __, __, formal, __ in self.pairs}
+
+
+def _mentions_subtree(tree, key):
+    return any(ast.structural_key(node) == key for node in tree.walk())
+
+
+def _substitute(tree, key, replacement):
+    """A copy of ``tree`` with every subtree matching ``key`` replaced."""
+    if ast.structural_key(tree) == key:
+        return replacement
+    clone = _shallow_copy(tree)
+    for field in tree._fields:
+        value = getattr(tree, field)
+        if isinstance(value, ast.Node):
+            setattr(clone, field, _substitute(value, key, replacement))
+        elif isinstance(value, (list, tuple)):
+            setattr(
+                clone,
+                field,
+                [
+                    _substitute(item, key, replacement)
+                    if isinstance(item, ast.Node)
+                    else item
+                    for item in value
+                ],
+            )
+    return clone
+
+
+def _shallow_copy(node):
+    import copy
+
+    return copy.copy(node)
+
+
+def simplify(tree):
+    """Normalize ``*(&x)`` to ``x`` and ``&(*x)`` to ``x`` after
+    substitution."""
+    if isinstance(tree, ast.Unary) and not tree.postfix:
+        inner = simplify(tree.operand)
+        if (
+            tree.op == "*"
+            and isinstance(inner, ast.Unary)
+            and inner.op == "&"
+            and not inner.postfix
+        ):
+            return inner.operand
+        if (
+            tree.op == "&"
+            and isinstance(inner, ast.Unary)
+            and inner.op == "*"
+            and not inner.postfix
+        ):
+            return inner.operand
+        clone = _shallow_copy(tree)
+        clone.operand = inner
+        return clone
+    clone = _shallow_copy(tree)
+    for field in tree._fields:
+        value = getattr(tree, field)
+        if isinstance(value, ast.Node):
+            setattr(clone, field, simplify(value))
+        elif isinstance(value, (list, tuple)):
+            setattr(
+                clone,
+                field,
+                [simplify(v) if isinstance(v, ast.Node) else v for v in value],
+            )
+    return clone
+
+
+def refine(sm, argmap, caller_scope_names, callee_file=None):
+    """Refine the extension state into the callee's scope (§6.1).
+
+    Returns ``(refined_sm, saved_instances)``.  The global instance passes
+    unchanged; objects reachable through arguments are retargeted; state on
+    caller locals is saved and deleted; file-scope variables from other
+    files are temporarily inactivated.
+    """
+    refined = SMInstance(sm.extension, sm.gstate)
+    saved = []
+    for inst in sm.active_vars:
+        mapped = argmap.to_callee(inst.obj)
+        if mapped is not None:
+            clone = inst.copy()
+            clone.retarget(mapped)
+            refined.add(clone)
+            continue
+        names = ast.identifiers_in(inst.obj)
+        if names & caller_scope_names:
+            saved.append(inst)
+            continue
+        clone = inst.copy()
+        if (
+            clone.file_scope_file is not None
+            and callee_file is not None
+            and clone.file_scope_file != callee_file
+        ):
+            clone.inactive = True
+        refined.add(clone)
+    return refined, saved
+
+
+def collect_applicable_edges(refined_sm, function_summary):
+    """Step 3: the set of summary edges that apply to the current state.
+
+    Returns ``(assignments, add_edges, global_edges, unmatched)`` where
+    assignments maps each live instance to its applicable transition edges.
+    """
+    gstate = refined_sm.gstate
+    live = refined_sm.live_instances()
+    assignments = []
+    unmatched = []
+    for inst in live:
+        start = inst.tuple_key(gstate)
+        edges = [
+            e for e in function_summary.with_start(start) if e.kind == TRANSITION
+        ]
+        if edges:
+            assignments.append((inst, edges))
+        else:
+            unmatched.append(inst)
+
+    add_edges = []
+    live_keys = {inst.obj_key for inst in live}
+    for edge in function_summary:
+        if edge.kind != ADD or edge.start[0] != gstate:
+            continue
+        obj_key = edge.start[1][1]
+        if obj_key in live_keys:
+            continue  # "the edge only applies when we know nothing about t"
+        add_edges.append(edge)
+
+    global_edges = [
+        e
+        for e in function_summary
+        if e.is_global_only
+        and not e.relax_only
+        and e.start == (gstate, PLACEHOLDER)
+    ]
+    return assignments, add_edges, global_edges, unmatched
+
+
+def partition_exit_states(refined_sm, assignments, add_edges, global_edges):
+    """Steps 4-5: partition applicable edges into disjoint exit states.
+
+    Each partition holds edges with one global end value and at most one
+    edge per program object; every partition becomes a new SMInstance.
+    """
+    items = []
+    for inst, edges in assignments:
+        for edge in edges:
+            items.append((inst, edge))
+    for edge in add_edges:
+        items.append((None, edge))
+
+    partitions = []  # (gstate, {obj_key: (source_inst, edge)})
+    for source, edge in items:
+        end_gstate = edge.end[0]
+        obj_key = edge.end[1][1] if edge.end[1] != PLACEHOLDER else None
+        placed = False
+        for part in partitions:
+            if part["gstate"] != end_gstate:
+                continue
+            if obj_key in part["objs"]:
+                continue
+            part["objs"][obj_key] = (source, edge)
+            placed = True
+            break
+        if not placed:
+            partitions.append({"gstate": end_gstate, "objs": {obj_key: (source, edge)}})
+
+    if not partitions:
+        # No instance edges: exit states come from global edges alone.
+        end_gstates = sorted({e.end[0] for e in global_edges}) or [refined_sm.gstate]
+        partitions = [{"gstate": g, "objs": {}} for g in end_gstates]
+
+    out = []
+    seen = set()
+    for part in partitions:
+        new_sm = SMInstance(refined_sm.extension, part["gstate"])
+        for obj_key, (source, edge) in part["objs"].items():
+            snapshot = edge.end_snapshot
+            if snapshot is None:
+                continue
+            value = edge.end[1][2]
+            if value == STOP:
+                continue
+            if source is not None:
+                inst = source.copy()
+                inst.value = snapshot.value
+                inst.data = dict(snapshot.data)
+                inst.retarget(snapshot.obj)
+            else:
+                inst = snapshot.copy()
+                VarInstance._next_uid[0] += 1
+                inst.uid = VarInstance._next_uid[0]
+            new_sm.add(inst)
+        fingerprint = (
+            new_sm.gstate,
+            frozenset(
+                (i.obj_key, i.value, i.data_key()) for i in new_sm.active_vars
+            ),
+        )
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        out.append(new_sm)
+    return out
+
+
+def restore(partition_sms, saved, argmap, original_sm, callee_local_names):
+    """Step 4/6: map callee-scope exit states back to the caller and
+    re-attach saved caller-local state.
+
+    Inactive file-scope instances and global objects pass back unchanged;
+    objects involving callee locals are dropped.
+    """
+    restored = []
+    for part in partition_sms:
+        new_sm = SMInstance(original_sm.extension, part.gstate)
+        for inst in part.active_vars:
+            mapped = argmap.to_caller(inst.obj)
+            if mapped is not None:
+                clone = inst.copy()
+                clone.retarget(mapped)
+                new_sm.add(clone)
+                continue
+            names = ast.identifiers_in(inst.obj)
+            if names & callee_local_names or names & argmap.formal_names():
+                continue  # callee-local object: leaves scope
+            new_sm.add(inst.copy())
+        for inst in saved:
+            if new_sm.find(inst.obj_key) is None:
+                new_sm.add(inst.copy())
+        restored.append(new_sm)
+    return restored

@@ -1,0 +1,68 @@
+"""Killing variables and expressions (§8).
+
+"Whenever a variable is defined, xgcc iterates through the list of program
+objects with attached state and determines if the defined variable is used
+within any of these objects.  If so, the object is transitioned to the
+stop state ...  an expression (e.g., a[i]) with attached state is
+transitioned to the stop state when a component of that expression (e.g.,
+i) is redefined.  This analysis runs transparently unless a checker
+requests otherwise, and it is the single most important technique for
+suppressing false positives."
+"""
+
+from repro.cfront import astnodes as ast
+
+
+def definition_target(point):
+    """The lvalue defined at this program point, or None.
+
+    Assignments and ``++``/``--`` define their targets.  Taking a
+    variable's address is deliberately *not* a definition (the BSD
+    debugging-function false positives of §8 are handled by checker-
+    specific suppression instead).
+    """
+    if isinstance(point, ast.Assign):
+        return point.target
+    if isinstance(point, ast.Unary) and point.op in ("++", "--"):
+        return point.operand
+    return None
+
+
+def kill_for_definition(sm, target, keep=()):
+    """Stop every instance whose object uses the defined lvalue.
+
+    Returns the list of killed instances.  ``keep`` lists instances exempt
+    from this kill (the freshly created synonym of the assignment).
+    """
+    killed = []
+    if isinstance(target, ast.Ident):
+        name = target.name
+        for inst in list(sm.active_vars):
+            if inst in keep:
+                continue
+            if ast.contains_identifier(inst.obj, name):
+                killed.append(inst)
+                sm.remove(inst)
+    else:
+        target_key = ast.structural_key(target)
+        for inst in list(sm.active_vars):
+            if inst in keep:
+                continue
+            if _contains_subtree(inst.obj, target_key):
+                killed.append(inst)
+                sm.remove(inst)
+    return killed
+
+
+def kill_for_declaration(sm, name):
+    """A fresh declaration shadows any stale state attached to the name."""
+    killed = []
+    for inst in list(sm.active_vars):
+        if ast.contains_identifier(inst.obj, name):
+            killed.append(inst)
+            sm.remove(inst)
+    return killed
+
+
+def _contains_subtree(tree, target_key):
+    return any(ast.structural_key(node) == target_key for node in tree.walk())

@@ -1,0 +1,251 @@
+"""Block, suffix, and function summaries (§5.2, §6.2, Figures 5 and 6).
+
+A block summary records, as directed edges between state tuples, how each
+SM that reaches the block is transitioned while traversing it:
+
+* transition edges ``(s, v:t->vs) -> (s', v:t->vs')`` -- one per state
+  tuple that reaches the block (possibly the identity);
+* add edges ``(s, v:t->unknown) -> (s', v:t->vs')`` -- a new instance was
+  created in the block; the ``unknown`` start marks that the edge applies
+  only when nothing is known about ``t`` at block entry;
+* global edges ``(s, <>) -> (s', <>)`` -- how the block updates the global
+  instance; relaxation matches these against add-edge starts.
+
+A *suffix summary* for block ``b`` holds add/transition edges from ``b`` to
+the function's exit; the *function summary* is the entry block's suffix
+summary.  Suffix summaries are computed by :func:`relax`, a backwards walk
+over the path's backtrace (Figure 6).
+"""
+
+from repro.metal.sm import PLACEHOLDER, STOP
+from repro.engine.state import UNKNOWN, describe_tuple
+
+TRANSITION = "transition"
+ADD = "add"
+
+
+class Edge:
+    """One summary edge.
+
+    ``end_snapshot`` is a :class:`VarInstance` copy frozen at block exit
+    (None for placeholder/global edges); function-summary application uses
+    it to recreate instance state (value + data) in the caller.
+
+    ``relax_only`` marks the special global edges §6.2 requires every
+    block to record ("how that block updates the global instance") when
+    the placeholder tuple was NOT actually part of the state that reached
+    the block: they exist so add-edge relaxation can match their global
+    values, but they are not cache entries -- the placeholder tuple is
+    "ignored whenever active_vars is nonempty" (§5.3).
+    """
+
+    __slots__ = ("kind", "start", "end", "end_snapshot", "relax_only")
+
+    def __init__(self, kind, start, end, end_snapshot=None, relax_only=False):
+        self.kind = kind
+        self.start = start
+        self.end = end
+        self.end_snapshot = end_snapshot
+        self.relax_only = relax_only
+
+    def key(self):
+        return (self.kind, self.start, self.end, self.relax_only)
+
+    @property
+    def is_global_only(self):
+        return self.start[1] == PLACEHOLDER and self.end[1] == PLACEHOLDER
+
+    @property
+    def ends_in_stop(self):
+        rest = self.end[1]
+        return rest != PLACEHOLDER and rest[2] == STOP
+
+    def describe(self):
+        return "%s --> %s" % (describe_tuple(self.start), describe_tuple(self.end))
+
+    def __repr__(self):
+        return "Edge(%s, %s)" % (self.kind, self.describe())
+
+
+class EdgeSet:
+    """A deduplicated set of edges with start-tuple indexing."""
+
+    def __init__(self):
+        self._edges = {}
+        self._by_start = {}
+        self._by_end = {}
+
+    def add(self, edge):
+        key = edge.key()
+        if key in self._edges:
+            return False
+        self._edges[key] = edge
+        self._by_start.setdefault(edge.start, []).append(edge)
+        self._by_end.setdefault(edge.end, []).append(edge)
+        return True
+
+    def with_start(self, start):
+        return self._by_start.get(start, ())
+
+    def with_end(self, end):
+        return self._by_end.get(end, ())
+
+    def has_start(self, start):
+        return start in self._by_start
+
+    def __iter__(self):
+        return iter(self._edges.values())
+
+    def __len__(self):
+        return len(self._edges)
+
+    def __contains__(self, edge):
+        return edge.key() in self._edges
+
+
+class BlockSummary:
+    """The block summary plus the suffix summary for one basic block."""
+
+    def __init__(self, block):
+        self.block = block
+        self.edges = EdgeSet()  # block summary
+        self.suffix = EdgeSet()  # suffix summary
+
+    def covers(self, start_tuple):
+        """Does the cache contain this state tuple (as a transition edge
+        start)?  Used by ``cache_misses`` (§5.3).  Relax-only global edges
+        are not cache entries."""
+        for edge in self.edges.with_start(start_tuple):
+            if edge.kind == TRANSITION and not edge.relax_only:
+                return True
+        return False
+
+    def describe(self, suffix=False):
+        edges = self.suffix if suffix else self.edges
+        shown = [e for e in edges if not e.is_global_only]
+        if not shown:
+            shown = [e for e in edges if e.is_global_only][:1]
+        return ", ".join(sorted(e.describe() for e in shown))
+
+
+class SummaryTable:
+    """Summaries for every (block, extension) pair of one analysis run."""
+
+    def __init__(self):
+        self._by_block = {}
+
+    def get(self, block):
+        summary = self._by_block.get(id(block))
+        if summary is None:
+            summary = BlockSummary(block)
+            self._by_block[id(block)] = summary
+        return summary
+
+    def __len__(self):
+        return len(self._by_block)
+
+
+def make_transition_edge(start_gstate, start_instance, end_gstate, end_instance):
+    """Build a transition edge from an entry/exit instance pair.
+
+    ``end_instance`` may be None to mean the instance was stopped.
+    """
+    if start_instance is None:
+        start = (start_gstate, PLACEHOLDER)
+        end = (end_gstate, PLACEHOLDER)
+        return Edge(TRANSITION, start, end, None)
+    start = start_instance.tuple_key(start_gstate)
+    if end_instance is None:
+        end = (
+            end_gstate,
+            (start_instance.var_name, start_instance.obj_key, STOP, None),
+        )
+        return Edge(TRANSITION, start, end, None)
+    return Edge(
+        TRANSITION, start, end_instance.tuple_key(end_gstate), end_instance.copy()
+    )
+
+
+def make_add_edge(start_gstate, end_gstate, end_instance):
+    """Build an add edge for an instance created inside the block."""
+    start = (start_gstate, (end_instance.var_name, end_instance.obj_key, UNKNOWN, None))
+    return Edge(ADD, start, end_instance.tuple_key(end_gstate), end_instance.copy())
+
+
+def unknown_start(gstate, edge):
+    """Rewrite an add edge's start for a new entry global value."""
+    rest = edge.start[1]
+    return (gstate, rest)
+
+
+def relax(backtrace, table, local_filter=None):
+    """Compute suffix summaries along a finished (or aborted) path (Fig. 6).
+
+    ``backtrace`` is the list of blocks on the current path, first to last;
+    the last entry is either the function's exit block or the block where a
+    cache hit aborted the path (whose suffix edges then seed the walk).
+
+    ``local_filter(obj_key_tree_names)`` -- actually a predicate over an
+    edge -- drops edges that mention function-local objects: "the analysis
+    would never use these edges" (Fig. 5 caption).
+
+    Edges ending in a ``stop`` tuple are intentionally omitted (§6.2).
+    """
+    if not backtrace:
+        return
+    last = table.get(backtrace[-1])
+    if backtrace[-1].is_exit:
+        # "ep's suffix summary equals its block summary."
+        for edge in last.edges:
+            _add_suffix(last, edge, local_filter)
+
+    for index in range(len(backtrace) - 2, -1, -1):
+        prev = table.get(backtrace[index])
+        cur = table.get(backtrace[index + 1])
+        grew = False
+        for suffix_edge in list(cur.suffix):
+            if suffix_edge.kind == ADD:
+                # Match the add start against prev's global edges: "these
+                # special transition edges will match the initial state of
+                # an add edge if the values of the global instance match."
+                for prev_edge in prev.edges:
+                    if not prev_edge.is_global_only:
+                        continue
+                    if prev_edge.end[0] != suffix_edge.start[0]:
+                        continue
+                    new_edge = Edge(
+                        ADD,
+                        unknown_start(prev_edge.start[0], suffix_edge),
+                        suffix_edge.end,
+                        suffix_edge.end_snapshot,
+                    )
+                    grew |= _add_suffix(prev, new_edge, local_filter)
+            else:
+                # "For a suffix transition edge, et, the algorithm looks for
+                # an add edge or transition edge in prev's block summary
+                # whose end tuple is equivalent to et's start tuple."
+                for prev_edge in prev.edges.with_end(suffix_edge.start):
+                    new_edge = Edge(
+                        prev_edge.kind,
+                        prev_edge.start,
+                        suffix_edge.end,
+                        suffix_edge.end_snapshot,
+                        relax_only=prev_edge.relax_only or suffix_edge.relax_only,
+                    )
+                    grew |= _add_suffix(prev, new_edge, local_filter)
+        # The paper stops early "when no new edges are propagated (i.e.,
+        # the previous block's summary does not grow)".  That short-cut is
+        # only safe when every block on the backtrace was seeded by this
+        # same walk; when two paths share a tail (the second path's walk
+        # finds the shared blocks already populated), breaking here would
+        # leave the divergent prefix without its suffix edges.  We walk the
+        # whole backtrace instead -- it is bounded by the path length.
+        del grew
+
+
+def _add_suffix(summary, edge, local_filter):
+    if edge.ends_in_stop:
+        return False
+    if local_filter is not None and local_filter(edge):
+        return False
+    return summary.suffix.add(edge)

@@ -1,0 +1,86 @@
+"""Synonym tracking (§8).
+
+"If a variable tracked by an extension is assigned to another variable,
+both variables become synonyms: state changes in one are mirrored in the
+other."  (The paper implemented this as a 50-line addition.)
+
+Each assignment ``q = p`` where ``p`` carries state creates a new instance
+for ``q`` in the same state, linked through a shared synonym group; checker
+transitions on either are mirrored to the group.  Engine-level kills
+(redefinition) affect only the redefined object -- that is what makes the
+Figure 2 walkthrough work: ``q = p; p = 0;`` leaves ``q`` freed.
+"""
+
+from repro.cfront import astnodes as ast
+
+_next_group = [0]
+
+
+def maybe_create_synonym(sm, assign_point):
+    """Handle a possible synonym-creating assignment; returns the new
+    instance or None."""
+    if not isinstance(assign_point, ast.Assign) or assign_point.op != "=":
+        return None
+    target = assign_point.target
+    value = assign_point.value
+    if not ast.is_lvalue(target):
+        return None
+    # Look through chained assignments ("p = q = kmalloc(...)": p's value
+    # is q), casts, and comma operators to the carrying lvalue.
+    while True:
+        if isinstance(value, ast.Assign):
+            value = value.target
+        elif isinstance(value, ast.Cast):
+            value = value.operand
+        elif isinstance(value, ast.Comma):
+            value = value.right
+        else:
+            break
+    source = sm.find(ast.structural_key(value))
+    if source is None or source.inactive:
+        return None
+    existing = sm.find(ast.structural_key(target))
+    if existing is source:
+        return None
+    clone = source.copy()
+    clone.uid = None  # fresh identity
+    from repro.engine.state import VarInstance
+
+    VarInstance._next_uid[0] += 1
+    clone.uid = VarInstance._next_uid[0]
+    clone.retarget(target)
+    clone.synonym_chain = source.synonym_chain + 1
+    if source.synonym_group is None:
+        _next_group[0] += 1
+        source.synonym_group = _next_group[0]
+    clone.synonym_group = source.synonym_group
+    clone.created_location = assign_point.location
+    from repro.cfront.unparse import unparse
+
+    clone.record("became a synonym of %s" % unparse(value), assign_point.location)
+    sm.add(clone)
+    return clone
+
+
+def mirror_transition(sm, instance, new_value, new_data=None):
+    """Mirror a checker transition onto the instance's synonym group."""
+    group = instance.synonym_group
+    if group is None:
+        return []
+    mirrored = []
+    for other in list(sm.active_vars):
+        if other is instance or other.synonym_group != group:
+            continue
+        other.value = new_value
+        if new_data is not None:
+            other.data = dict(new_data)
+        mirrored.append(other)
+        if _is_stop(new_value):
+            sm.remove(other)
+    return mirrored
+
+
+def _is_stop(value):
+    from repro.metal.sm import STOP
+
+    return value == STOP

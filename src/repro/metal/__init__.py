@@ -1,0 +1,61 @@
+"""The metal extension language (§2-§4).
+
+Checkers can be written two ways:
+
+* in the textual metal DSL of Figures 1 and 3, compiled by
+  :func:`repro.metal.language.compile_metal`;
+* directly against the Python API (:class:`repro.metal.sm.Extension`),
+  which plays the role of metal's escapes to general-purpose C code.
+"""
+
+from repro.metal.metatypes import (
+    ANY_ARGUMENTS,
+    ANY_EXPR,
+    ANY_FN_CALL,
+    ANY_POINTER,
+    ANY_SCALAR,
+    MetaType,
+)
+from repro.metal.patterns import (
+    AndPattern,
+    BasePattern,
+    Callout,
+    EndOfPath,
+    MatchContext,
+    OrPattern,
+    Pattern,
+    compile_pattern,
+)
+from repro.metal.sm import (
+    GLOBAL,
+    STOP,
+    Extension,
+    PathSplit,
+    Transition,
+)
+from repro.metal.language import compile_metal
+from repro.metal.validate import validate as validate_extension
+
+__all__ = [
+    "ANY_ARGUMENTS",
+    "ANY_EXPR",
+    "ANY_FN_CALL",
+    "ANY_POINTER",
+    "ANY_SCALAR",
+    "MetaType",
+    "Pattern",
+    "BasePattern",
+    "AndPattern",
+    "OrPattern",
+    "Callout",
+    "EndOfPath",
+    "MatchContext",
+    "compile_pattern",
+    "Extension",
+    "Transition",
+    "PathSplit",
+    "GLOBAL",
+    "STOP",
+    "compile_metal",
+    "validate_extension",
+]

@@ -1,0 +1,438 @@
+"""The textual metal DSL (Figures 1 and 3).
+
+Grammar (reconstructed from the paper's figures)::
+
+    checker     := 'sm' IDENT '{' item* '}'
+    item        := decl | clause
+    decl        := 'state'? 'decl' type-words IDENT ';'
+    clause      := state-label ':' rule ('|' rule)* ';'
+    state-label := IDENT ('.' IDENT)?
+    rule        := pattern ('==>' targets)? (',' action)?
+    targets     := 'true' '=' state-ref ',' 'false' '=' state-ref
+                 | state-ref
+    state-ref   := IDENT ('.' IDENT)?
+    pattern     := pat-or
+    pat-or      := pat-and ('||' pat-and)*
+    pat-and     := pat-atom ('&&' pat-atom)*
+    pat-atom    := '{' C-fragment '}'         -- base pattern
+                 | '$' '{' C-expression '}'   -- callout
+                 | '$end_of_path$'            -- also '$end of path$'
+                 | '(' pattern ')'
+    action      := '{' C-statements '}'
+
+C code actions and callout bodies are parsed with the C front end (holes
+included) and run by a small interpreter with the callout library
+(:mod:`repro.metal.callouts`) in scope.  This substitutes for the original
+system's compiled-C escapes; Python-API extensions are the full-power
+escape hatch (see DESIGN.md).
+"""
+
+from repro.cfront import astnodes as ast
+from repro.cfront.lexer import (
+    Lexer,
+    TokenKind,
+    parse_char_constant,
+    parse_int_constant,
+    parse_string_literal,
+)
+from repro.cfront.parser import Parser
+from repro.cfront.source import ParseError, SourceError
+from repro.metal.callouts import LIBRARY
+from repro.metal.metatypes import metatype_by_name
+from repro.metal.patterns import Callout, EndOfPath, compile_pattern
+from repro.metal.sm import Extension
+
+
+class MetalError(SourceError):
+    """A malformed metal extension."""
+
+
+class MetalParser:
+    """Parses metal text into an :class:`Extension`."""
+
+    def __init__(self, text, filename="<metal>"):
+        self.tokens = Lexer(text, filename).tokens()
+        self.pos = 0
+        self.filename = filename
+
+    def peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if self.pos < len(self.tokens) - 1:
+            self.pos += 1
+        return token
+
+    def error(self, message):
+        raise MetalError(
+            "%s (at %r)" % (message, self.peek().value or "<eof>"), self.peek().location
+        )
+
+    def expect(self, value):
+        token = self.peek()
+        if token.value != value:
+            self.error("expected %r" % value)
+        return self.advance()
+
+    def accept(self, value):
+        if self.peek().value == value:
+            return self.advance()
+        return None
+
+    # -- top level -------------------------------------------------------------
+
+    def parse(self):
+        self.expect("sm")
+        name_token = self.peek()
+        if name_token.kind is not TokenKind.IDENT:
+            self.error("expected checker name after 'sm'")
+        self.advance()
+        extension = Extension(name_token.value)
+        self.expect("{")
+        while not self.peek().is_punct("}"):
+            if self.peek().kind is TokenKind.EOF:
+                self.error("unterminated checker body")
+            if self.peek().value in ("state", "decl"):
+                self._parse_decl(extension)
+            else:
+                self._parse_clause(extension)
+        self.expect("}")
+        return extension
+
+    def _parse_decl(self, extension):
+        is_state = bool(self.accept("state"))
+        self.expect("decl")
+        # Type words up to the variable name: the name is the last IDENT
+        # before ';'.
+        words = []
+        while not self.peek().is_punct(";"):
+            if self.peek().kind is TokenKind.EOF:
+                self.error("unterminated decl")
+            words.append(self.advance().value)
+        self.expect(";")
+        if len(words) < 2:
+            self.error("decl needs a type and a name")
+        name = words[-1]
+        type_words = " ".join(words[:-1])
+        metatype = metatype_by_name(type_words)
+        if metatype is None:
+            from repro.cfront.parser import Parser as CParser
+            from repro.metal.metatypes import ConcreteType
+
+            try:
+                type_parser = CParser(type_words + " x;")
+                decls = type_parser.parse_external_declaration()
+                metatype = ConcreteType(decls[0].ctype)
+            except (ParseError, IndexError):
+                self.error("unknown hole type %r" % type_words)
+        if is_state:
+            extension.state_var(name, metatype)
+        else:
+            extension.decl(name, metatype)
+
+    def _parse_clause(self, extension):
+        source = self._parse_state_ref()
+        self.expect(":")
+        while True:
+            self._parse_rule(extension, source)
+            if not self.accept("|"):
+                break
+        self.expect(";")
+
+    def _parse_state_ref(self):
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT:
+            self.error("expected state name")
+        name = self.advance().value
+        if self.accept("."):
+            value = self.advance().value
+            return "%s.%s" % (name, value)
+        return name
+
+    def _parse_rule(self, extension, source):
+        pattern = self._parse_pattern(extension)
+        to = true_to = false_to = None
+        action = None
+        if self.peek().is_punct("==") and self.peek(1).is_punct(">"):
+            self.advance()
+            self.advance()
+            if self.peek().value == "true" and self.peek(1).is_punct("="):
+                self.advance()
+                self.advance()
+                true_to = self._parse_state_ref()
+                self.expect(",")
+                if self.peek().value != "false":
+                    self.error("expected 'false=' arm of path-specific target")
+                self.advance()
+                self.expect("=")
+                false_to = self._parse_state_ref()
+            else:
+                to = self._parse_state_ref()
+        if self.accept(","):
+            if not self.peek().is_punct("{"):
+                self.error("expected '{' action block")
+            body = self._collect_braced()
+            action = compile_action(body, extension.hole_types)
+        extension.transition(
+            source, pattern, to=to, action=action, true_to=true_to, false_to=false_to
+        )
+
+    # -- patterns ----------------------------------------------------------------
+
+    def _parse_pattern(self, extension):
+        left = self._parse_pattern_and(extension)
+        while self.peek().is_punct("||"):
+            self.advance()
+            right = self._parse_pattern_and(extension)
+            left = left | right
+        return left
+
+    def _parse_pattern_and(self, extension):
+        left = self._parse_pattern_atom(extension)
+        while self.peek().is_punct("&&"):
+            self.advance()
+            right = self._parse_pattern_atom(extension)
+            left = left & right
+        return left
+
+    def _parse_pattern_atom(self, extension):
+        token = self.peek()
+        if token.is_punct("("):
+            self.advance()
+            inner = self._parse_pattern(extension)
+            self.expect(")")
+            return inner
+        if token.is_punct("{"):
+            body = self._collect_braced()
+            return compile_pattern(body, extension.hole_types)
+        if token.is_punct("$"):
+            self.advance()
+            if self.peek().is_punct("{"):
+                body = self._collect_braced()
+                return compile_callout(body, extension.hole_types)
+            # $end_of_path$ (also the spelled-out '$end of path$').
+            words = []
+            while not self.peek().is_punct("$"):
+                if self.peek().kind is TokenKind.EOF:
+                    self.error("unterminated $...$ pattern")
+                words.append(self.advance().value)
+            self.expect("$")
+            name = "_".join(words)
+            if name == "end_of_path":
+                return EndOfPath()
+            self.error("unknown special pattern $%s$" % " ".join(words))
+        self.error("expected a pattern")
+
+    def _collect_braced(self):
+        """Consume a balanced ``{...}`` and return the body as text."""
+        open_token = self.expect("{")
+        depth = 1
+        parts = []
+        while depth:
+            token = self.advance()
+            if token.kind is TokenKind.EOF:
+                raise MetalError("unterminated '{'", open_token.location)
+            if token.is_punct("{"):
+                depth += 1
+            elif token.is_punct("}"):
+                depth -= 1
+                if depth == 0:
+                    break
+            parts.append(token.value)
+        return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# The action / callout interpreter
+# ---------------------------------------------------------------------------
+
+
+class _Interpreter:
+    """Evaluates the C fragments inside ``${...}`` and action blocks.
+
+    Identifier resolution order: hole bindings, the callout library, then
+    the per-extension user-global dictionary (``ctx.globals``).
+    """
+
+    def __init__(self, context):
+        self.context = context
+
+    def lookup(self, name):
+        bindings = getattr(self.context, "bindings", {}) or {}
+        if name in bindings:
+            return bindings[name]
+        if name in LIBRARY:
+            return LIBRARY[name]
+        user_globals = getattr(self.context, "globals", None)
+        if user_globals is not None and name in user_globals:
+            return user_globals[name]
+        builtin = getattr(self.context, name, None)
+        if builtin is not None:
+            return builtin
+        raise MetalError("unknown identifier %r in metal C fragment" % name)
+
+    def run_block(self, stmts):
+        for stmt in stmts:
+            self.run_stmt(stmt)
+
+    def run_stmt(self, stmt):
+        if isinstance(stmt, ast.ExprStmt):
+            self.eval(stmt.expr)
+        elif isinstance(stmt, ast.Compound):
+            self.run_block(stmt.items)
+        elif isinstance(stmt, ast.If):
+            if self.truthy(self.eval(stmt.cond)):
+                self.run_stmt(stmt.then)
+            elif stmt.otherwise is not None:
+                self.run_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        elif isinstance(stmt, ast.Return):
+            raise _ReturnValue(self.eval(stmt.expr) if stmt.expr else None)
+        else:
+            raise MetalError("unsupported statement in metal C fragment: %r" % stmt)
+
+    def eval(self, expr):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            return expr.value
+        if isinstance(expr, ast.CharLit):
+            return expr.value
+        if isinstance(expr, ast.Hole):
+            bindings = getattr(self.context, "bindings", {}) or {}
+            if expr.name in bindings:
+                return bindings[expr.name]
+            raise MetalError("hole %r is unbound in this fragment" % expr.name)
+        if isinstance(expr, ast.Ident):
+            value = self.lookup(expr.name)
+            if callable(value) and getattr(value, "_needs_context", False):
+                # A bare mention of e.g. mc_stmt: evaluate immediately.
+                try:
+                    return value(self.context)
+                except TypeError:
+                    return value
+            return value
+        if isinstance(expr, ast.Call):
+            fn = self.eval(expr.func)
+            args = [self.eval(a) for a in expr.args]
+            if getattr(fn, "_needs_context", False):
+                return fn(self.context, *args)
+            return fn(*args)
+        if isinstance(expr, ast.Unary):
+            value = self.eval(expr.operand)
+            if expr.op == "!":
+                return int(not self.truthy(value))
+            if expr.op == "-":
+                return -value
+            if expr.op == "+":
+                return value
+            if expr.op == "~":
+                return ~value
+            raise MetalError("unsupported unary %r in metal C fragment" % expr.op)
+        if isinstance(expr, ast.Binary):
+            if expr.op == "&&":
+                return int(self.truthy(self.eval(expr.left)) and self.truthy(self.eval(expr.right)))
+            if expr.op == "||":
+                return int(self.truthy(self.eval(expr.left)) or self.truthy(self.eval(expr.right)))
+            left = self.eval(expr.left)
+            right = self.eval(expr.right)
+            return _binop(expr.op, left, right)
+        if isinstance(expr, ast.Conditional):
+            if self.truthy(self.eval(expr.cond)):
+                return self.eval(expr.then)
+            return self.eval(expr.otherwise)
+        if isinstance(expr, ast.Assign) and expr.op == "=":
+            if isinstance(expr.target, ast.Ident):
+                user_globals = getattr(self.context, "globals", None)
+                if user_globals is None:
+                    raise MetalError("no globals store for assignment in fragment")
+                value = self.eval(expr.value)
+                user_globals[expr.target.name] = value
+                return value
+        raise MetalError("unsupported expression in metal C fragment: %r" % expr)
+
+    @staticmethod
+    def truthy(value):
+        if value is None:
+            return False
+        if isinstance(value, (int, float, str, list)):
+            return bool(value)
+        return True  # AST nodes etc. are truthy
+
+
+class _ReturnValue(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+def _binop(op, left, right):
+    table = {
+        "==": lambda: int(left == right),
+        "!=": lambda: int(left != right),
+        "<": lambda: int(left < right),
+        ">": lambda: int(left > right),
+        "<=": lambda: int(left <= right),
+        ">=": lambda: int(left >= right),
+        "+": lambda: left + right,
+        "-": lambda: left - right,
+        "*": lambda: left * right,
+        "/": lambda: left // right if isinstance(left, int) else left / right,
+        "%": lambda: left % right,
+        "|": lambda: left | right,
+        "&": lambda: left & right,
+        "^": lambda: left ^ right,
+        "<<": lambda: left << right,
+        ">>": lambda: left >> right,
+    }
+    if op not in table:
+        raise MetalError("unsupported binary %r in metal C fragment" % op)
+    return table[op]()
+
+
+def _parse_fragment_stmts(body, hole_types):
+    parser = Parser(body, "<metal-action>", hole_types=hole_types)
+    stmts = []
+    while not parser.at_eof():
+        stmts.append(parser.parse_statement())
+    return stmts
+
+
+def compile_action(body, hole_types):
+    """Compile a C code action (§3.2) into an engine action callable."""
+    stmts = _parse_fragment_stmts(body, hole_types)
+
+    def action(context):
+        try:
+            _Interpreter(context).run_block(stmts)
+        except _ReturnValue:
+            pass
+
+    action.source = body
+    return action
+
+
+def compile_callout(body, hole_types):
+    """Compile a ``${...}`` callout body into a :class:`Callout` pattern."""
+    body = body.strip()
+    parser = Parser(body, "<metal-callout>", hole_types=hole_types)
+    expr = parser.parse_expression()
+    if not parser.at_eof():
+        parser.error("trailing tokens in callout")
+
+    def predicate(context):
+        try:
+            return _Interpreter(context).truthy(_Interpreter(context).eval(expr))
+        except MetalError:
+            return False  # an unbound hole in a standalone callout: no match
+
+    return Callout(predicate, body)
+
+
+def compile_metal(text, filename="<metal>"):
+    """Compile metal source text into an :class:`Extension`."""
+    return MetalParser(text, filename).parse()

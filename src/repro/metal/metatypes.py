@@ -1,0 +1,119 @@
+"""Metal meta types (Table 1).
+
+A hole variable must be typed.  A hole with a concrete C type matches any
+expression of that type; the *meta types* broaden holes to a class of
+related types:
+
+====================  =======================================
+Hole type             Matches
+====================  =======================================
+any C type            any expression of that type
+``any_expr``          any legal expression
+``any_scalar``        any scalar value (int, float, etc.)
+``any_pointer``       any pointer of any type
+``any_arguments``     any argument list
+``any_fn_call``       any function call
+====================  =======================================
+
+Typing is best-effort: the front end cannot always compute an expression's
+type (e.g. calls to undeclared functions).  A hole accepts an expression of
+*unknown* type; this is one of the deliberate unsound approximations (§7) --
+the system prefers matching too much over missing actions.
+"""
+
+from repro.cfront import astnodes as ast
+
+
+class MetaType:
+    """A class of types a hole variable may assume."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def matches(self, node):
+        """Does ``node`` (an AST node) fit in this hole?"""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "MetaType(%r)" % self.name
+
+    def __str__(self):
+        return self.name
+
+
+class _AnyExpr(MetaType):
+    def matches(self, node):
+        return isinstance(node, ast.Expr)
+
+
+class _AnyScalar(MetaType):
+    def matches(self, node):
+        if not isinstance(node, ast.Expr):
+            return False
+        if node.ctype is None:
+            return True  # unknown type: accept (see module docstring)
+        return node.ctype.is_scalar()
+
+
+class _AnyPointer(MetaType):
+    def matches(self, node):
+        if not isinstance(node, ast.Expr):
+            return False
+        if node.ctype is None:
+            return True
+        resolved = node.ctype.resolve()
+        # Arrays decay to pointers in expression contexts.
+        from repro.cfront import types as ctypes
+
+        if isinstance(resolved, ctypes.ArrayType):
+            return True
+        return resolved.is_pointer()
+
+
+class _AnyArguments(MetaType):
+    """Matches an entire argument list; only legal inside a call pattern."""
+
+    def matches(self, node):
+        return isinstance(node, list)
+
+
+class _AnyFnCall(MetaType):
+    """Matches a function call, or (in callee position) the callee."""
+
+    def matches(self, node):
+        return isinstance(node, ast.Expr)
+
+
+class ConcreteType(MetaType):
+    """A hole restricted to one concrete C type."""
+
+    def __init__(self, ctype):
+        super().__init__(str(ctype))
+        self.ctype = ctype
+
+    def matches(self, node):
+        if not isinstance(node, ast.Expr):
+            return False
+        if node.ctype is None:
+            return True
+        return node.ctype == self.ctype
+
+
+ANY_EXPR = _AnyExpr("any_expr")
+ANY_SCALAR = _AnyScalar("any_scalar")
+ANY_POINTER = _AnyPointer("any_pointer")
+ANY_ARGUMENTS = _AnyArguments("any_arguments")
+ANY_FN_CALL = _AnyFnCall("any_fn_call")
+
+_BY_NAME = {
+    "any_expr": ANY_EXPR,
+    "any_scalar": ANY_SCALAR,
+    "any_pointer": ANY_POINTER,
+    "any_arguments": ANY_ARGUMENTS,
+    "any_fn_call": ANY_FN_CALL,
+}
+
+
+def metatype_by_name(name):
+    """Look up a meta type by its (underscored or spaced) name."""
+    return _BY_NAME.get(name.replace(" ", "_"))

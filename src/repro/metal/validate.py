@@ -1,0 +1,213 @@
+"""Checker validation: lint an :class:`Extension` before running it.
+
+The original system compiled metal to C and got some of this from the C
+compiler; here the engine is dynamically typed, so a dedicated validator
+catches checker-writing mistakes early:
+
+* transitions out of states that nothing ever enters (unreachable);
+* states that are entered but define no transitions (dead ends -- often
+  a typo in a state name);
+* creation rules whose pattern never binds the state variable (the
+  instance could never attach to an object);
+* path-specific targets mixing global and variable-bound arms;
+* rules that can never fire because an earlier rule in the same state
+  has a strictly more general pattern (shadowing; heuristic);
+* extensions with no error reporting at all (usually a mistake).
+"""
+
+from repro.cfront import astnodes as ast
+from repro.metal.patterns import (
+    AndPattern,
+    BasePattern,
+    Callout,
+    EndOfPath,
+    OrPattern,
+)
+from repro.metal.sm import GLOBAL, PathSplit, StateRef, STOP
+
+
+class Finding:
+    """One validator diagnostic."""
+
+    LEVELS = ("error", "warning")
+
+    def __init__(self, level, code, message):
+        assert level in self.LEVELS
+        self.level = level
+        self.code = code
+        self.message = message
+
+    def __repr__(self):
+        return "[%s] %s: %s" % (self.level, self.code, self.message)
+
+
+def validate(extension):
+    """Validate an extension; returns a list of :class:`Finding`."""
+    findings = []
+    findings.extend(_check_reachability(extension))
+    findings.extend(_check_creation_bindings(extension))
+    findings.extend(_check_split_arms(extension))
+    findings.extend(_check_shadowing(extension))
+    findings.extend(_check_reporting(extension))
+    return findings
+
+
+def errors(extension):
+    """Only the error-level findings."""
+    return [f for f in validate(extension) if f.level == "error"]
+
+
+# ---------------------------------------------------------------------------
+
+
+def _targets_of(rule):
+    if isinstance(rule.target, PathSplit):
+        return [rule.target.true_state, rule.target.false_state]
+    if isinstance(rule.target, StateRef):
+        return [rule.target]
+    return []
+
+
+def _check_reachability(extension):
+    findings = []
+    entered = {StateRef(GLOBAL, extension.initial_global)}
+    for rule in extension.transitions:
+        for target in _targets_of(rule):
+            if target is not None and target.value != STOP:
+                entered.add(target)
+
+    sources = {rule.source for rule in extension.transitions}
+    for source in sorted(sources, key=repr):
+        if source not in entered:
+            findings.append(
+                Finding(
+                    "warning",
+                    "unreachable-state",
+                    "state %r has transitions but is never entered" % source,
+                )
+            )
+    for target in sorted(entered, key=repr):
+        if target not in sources and target.value != STOP:
+            # Entering a state with no outgoing rules is legal (it just
+            # parks the instance) but frequently a typo.
+            findings.append(
+                Finding(
+                    "warning",
+                    "dead-end-state",
+                    "state %r is entered but defines no transitions" % target,
+                )
+            )
+    return findings
+
+
+def _pattern_holes(pattern):
+    """Names of holes a pattern can bind (over-approximate for callouts)."""
+    if isinstance(pattern, BasePattern):
+        return {
+            node.name
+            for node in pattern.pattern_ast.walk()
+            if isinstance(node, ast.Hole)
+        }
+    if isinstance(pattern, (AndPattern, OrPattern)):
+        return _pattern_holes(pattern.left) | _pattern_holes(pattern.right)
+    return set()
+
+
+def _check_creation_bindings(extension):
+    findings = []
+    for rule in extension.transitions:
+        if not rule.creates_instance:
+            continue
+        target = rule.target
+        if isinstance(target, PathSplit):
+            target = target.true_state
+        var = target.var
+        holes = _pattern_holes(rule.pattern)
+        if var not in holes and not _has_callout(rule.pattern):
+            findings.append(
+                Finding(
+                    "error",
+                    "unbound-state-variable",
+                    "rule %r creates an instance of %r but its pattern "
+                    "never binds that hole" % (rule, var),
+                )
+            )
+    return findings
+
+
+def _has_callout(pattern):
+    if isinstance(pattern, Callout):
+        return True
+    if isinstance(pattern, (AndPattern, OrPattern)):
+        return _has_callout(pattern.left) or _has_callout(pattern.right)
+    return False
+
+
+def _check_split_arms(extension):
+    findings = []
+    for rule in extension.transitions:
+        if not isinstance(rule.target, PathSplit):
+            continue
+        true_state, false_state = rule.target.true_state, rule.target.false_state
+        if true_state is None or false_state is None:
+            findings.append(
+                Finding("error", "half-split",
+                        "path-specific rule %r is missing an arm" % rule)
+            )
+            continue
+        if true_state.is_global != false_state.is_global:
+            findings.append(
+                Finding(
+                    "error",
+                    "mixed-split",
+                    "path-specific rule %r mixes a global arm with a "
+                    "variable-bound arm" % rule,
+                )
+            )
+    return findings
+
+
+def _check_shadowing(extension):
+    """Heuristic: within one state's rule list, a later base pattern that
+    is structurally identical to an earlier one never fires."""
+    findings = []
+    by_source = {}
+    for rule in extension.transitions:
+        by_source.setdefault(rule.source, []).append(rule)
+    for source, rules in by_source.items():
+        seen = []
+        for rule in rules:
+            key = _pattern_key(rule.pattern)
+            if key is not None and key in seen:
+                findings.append(
+                    Finding(
+                        "warning",
+                        "shadowed-rule",
+                        "rule %r can never fire: an earlier rule in state "
+                        "%r has an identical pattern" % (rule, source),
+                    )
+                )
+            seen.append(key)
+    return findings
+
+
+def _pattern_key(pattern):
+    if isinstance(pattern, BasePattern):
+        return ("base", ast.structural_key(pattern.pattern_ast))
+    if isinstance(pattern, EndOfPath):
+        return ("eop",)
+    return None  # callouts/compositions: opaque
+
+
+def _check_reporting(extension):
+    has_action = any(rule.action is not None for rule in extension.transitions)
+    if not has_action:
+        return [
+            Finding(
+                "warning",
+                "no-actions",
+                "extension %r has no actions at all -- it can transition "
+                "but never report anything" % extension.name,
+            )
+        ]
+    return []

@@ -1,0 +1,19 @@
+"""Error ranking (§9): generic, severity, statistical, and code ranking."""
+
+from repro.ranking.generic import generic_rank, generic_sort_key
+from repro.ranking.severity import severity_class, stratify
+from repro.ranking.statistical import (
+    rank_by_rule_reliability,
+    rank_functions_by_code,
+    z_statistic,
+)
+
+__all__ = [
+    "generic_rank",
+    "generic_sort_key",
+    "severity_class",
+    "stratify",
+    "z_statistic",
+    "rank_by_rule_reliability",
+    "rank_functions_by_code",
+]

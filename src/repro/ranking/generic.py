@@ -1,0 +1,49 @@
+"""Generic ranking (§9).
+
+"By default, our system sorts error messages using the following criteria:
+
+1. *Distance.*  ... the distance between the statement that contains the
+   error and the statement where the extension started checking the
+   property that led to the error.
+2. *Number of conditionals.*  ... Each conditional is arbitrarily weighted
+   as ten lines of distance.
+3. *Degree of indirection.*  We rank errors that use synonyms below those
+   that do not ... sort synonyms based on the length of the assignment
+   chain.
+4. *Local versus interprocedural.*  We rank all local errors over global
+   ones and then order global errors based on the length of the shortest
+   call chain ...
+
+The latter two criteria partition error messages into different classes,
+which are then sorted using the first two."
+"""
+
+#: "Each conditional is arbitrarily weighted as ten lines of distance."
+CONDITIONAL_WEIGHT = 10
+
+
+def difficulty_score(report):
+    """Distance + weighted conditionals: the intra-class sorting key."""
+    return report.distance + CONDITIONAL_WEIGHT * report.conditionals
+
+
+def generic_sort_key(report):
+    """The full generic ranking key (ascending = inspect first).
+
+    Class partition first (local-vs-interprocedural, then indirection),
+    then the distance/conditional score inside each class.
+    """
+    interprocedural = 0 if report.is_local else 1
+    uses_synonyms = 1 if report.synonym_chain > 0 else 0
+    return (
+        interprocedural,
+        report.call_chain,
+        uses_synonyms,
+        report.synonym_chain,
+        difficulty_score(report),
+    )
+
+
+def generic_rank(reports):
+    """Reports ordered best-first by the generic criteria."""
+    return sorted(reports, key=generic_sort_key)

@@ -1,0 +1,79 @@
+"""Statistical ranking (§9).
+
+"We rank errors based on the reliability of the rules that caused them
+using the z-statistic for proportions ...
+
+    z(n, e) = (e/n - p0) / sqrt(p0 * (1 - p0) / n)
+
+Our null hypothesis is that a rule is obeyed or violated at random ...
+hence p0 = 0.5.  ...  High values indicate a higher probability that the
+counterexamples found are indeed violations of a valid rule, and are,
+therefore, most likely errors."
+
+Also implements *code ranking*: ranking functions by how cleanly they obey
+a rule elsewhere ("the highest ranked functions had a large number of
+successful acquire/release pairs with only a few errors").
+"""
+
+import math
+
+
+def z_statistic(n, e, p0=0.5):
+    """The z-statistic for proportions, exactly as printed in the paper."""
+    if n <= 0:
+        return 0.0
+    return (e / n - p0) / math.sqrt(p0 * (1 - p0) / n)
+
+
+def rule_z_score(examples, counterexamples, p0=0.5):
+    """z-score of one rule from its example/counterexample counts.
+
+    ``e`` is the number of times the rule was followed, ``c`` the number of
+    violations; ``n = e + c`` (§9, free-checker discussion).
+    """
+    n = examples + counterexamples
+    return z_statistic(n, examples, p0)
+
+
+def rank_by_rule_reliability(reports, log, p0=0.5):
+    """Sort reports by descending z-score of the rule that produced them.
+
+    ``log`` is the :class:`repro.engine.errors.ErrorLog` holding the
+    example/counterexample counters the checkers accumulated.  Reports from
+    rules that are almost always followed float to the top; reports from
+    rules the analysis mishandles (violated half the time) sink.
+    """
+    def key(report):
+        examples, counterexamples = log.rule_counts(report.rule_id)
+        return -rule_z_score(examples, counterexamples, p0)
+
+    return sorted(reports, key=key)
+
+
+def rule_reliability_table(log, p0=0.5):
+    """(rule_id, examples, counterexamples, z) rows, best rules first."""
+    rules = set(log.examples) | set(log.counterexamples)
+    rows = []
+    for rule_id in rules:
+        examples, counterexamples = log.rule_counts(rule_id)
+        rows.append(
+            (rule_id, examples, counterexamples,
+             rule_z_score(examples, counterexamples, p0))
+        )
+    rows.sort(key=lambda row: -row[3])
+    return rows
+
+
+def rank_functions_by_code(per_function_counts, p0=0.5):
+    """Code ranking (§9): ``per_function_counts`` maps function name to
+    ``(correct_pairs, mismatches)``; returns functions most-likely-buggy
+    first -- "a large number of successful acquire/release pairs with only
+    a few errors"."""
+    rows = []
+    for name, (examples, counterexamples) in per_function_counts.items():
+        if counterexamples == 0:
+            continue  # nothing to inspect
+        rows.append((name, examples, counterexamples,
+                     rule_z_score(examples, counterexamples, p0)))
+    rows.sort(key=lambda row: -row[3])
+    return rows

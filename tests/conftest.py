@@ -1,0 +1,48 @@
+"""Shared test helpers."""
+
+import pytest
+
+from repro.cfront.parser import parse
+from repro.engine.analysis import Analysis, AnalysisOptions
+
+
+def run_checker(code, extension, filename="test.c", options=None, roots=None):
+    """Parse C text and run one extension; returns the AnalysisResult."""
+    unit = parse(code, filename)
+    analysis = Analysis([unit], options=options or AnalysisOptions())
+    return analysis.run(extension, roots=roots)
+
+
+def messages(result):
+    """The report messages, sorted for stable assertions."""
+    return sorted(r.message for r in result.reports)
+
+
+def lines(result):
+    """The report line numbers, sorted."""
+    return sorted(r.location.line for r in result.reports)
+
+
+@pytest.fixture
+def fig2_code():
+    """The paper's Figure 2 example, verbatim (same line numbers)."""
+    return (
+        "int contrived(int *p, int *w, int x) {\n"  # line 1, as in the paper
+        "    int *q;\n"
+        "\n"
+        "    if(x)\n"
+        "    {\n"
+        "        kfree(w);\n"
+        "        q = p;\n"
+        "        p = 0;\n"
+        "    }\n"
+        "    if(!x)\n"
+        "        return *w;\n"
+        "    return *q;\n"
+        "}\n"
+        "int contrived_caller(int *w, int x, int *p) {\n"
+        "    kfree(p);\n"
+        "    contrived(p, w, x);\n"
+        "    return *w;\n"
+        "}\n"
+    )

@@ -1,0 +1,46 @@
+/* Declaration torture: every declarator form the parser supports. */
+
+typedef unsigned long size_t;
+typedef int (*handler_fn)(int, char *);
+typedef struct list_head { struct list_head *next, *prev; } list_t;
+
+static const char *names[4] = {"a", "b", "c", "d"};
+int matrix[2][3] = {{1, 2, 3}, {4, 5, 6}};
+char buffer[128];
+int (*dispatch_table[8])(int, char *);
+unsigned long long big = 0xFFFFFFFFFFFFULL;
+signed char tiny = -1;
+float ratio = 1.5e-3f;
+
+enum state { IDLE, RUNNING = 5, DONE };
+enum state current = IDLE;
+
+union value { int i; float f; char bytes[4]; };
+
+struct outer {
+    struct inner { int x; } member;
+    union value v;
+    int bits : 3;
+    int more_bits : 5;
+    handler_fn callback;
+    list_t links;
+};
+
+extern int external_counter;
+static size_t cached_size;
+
+int (*get_handler(int kind))(int, char *);
+
+int apply(handler_fn fn, int n, char *arg) {
+    if (!fn)
+        return -1;
+    return fn(n, arg);
+}
+
+int use_everything(struct outer *o, int idx) {
+    o->member.x = matrix[1][idx % 3];
+    o->v.i = (int)big;
+    o->links.next = o->links.prev;
+    cached_size = sizeof(struct outer) + sizeof o->v;
+    return o->bits + (int)names[idx & 3][0];
+}

@@ -1,0 +1,55 @@
+/* Expression torture: precedence, casts, sizeof, pointers. */
+
+typedef unsigned int u32;
+
+u32 hash(const char *s) {
+    u32 h = 5381;
+    while (*s)
+        h = ((h << 5) + h) ^ (u32)*s++;
+    return h;
+}
+
+int bit_tricks(unsigned x) {
+    x = x - ((x >> 1) & 0x55555555);
+    x = (x & 0x33333333) + ((x >> 2) & 0x33333333);
+    x = (x + (x >> 4)) & 0x0F0F0F0F;
+    return (int)((x * 0x01010101) >> 24);
+}
+
+int pointer_dance(int **pp, int *arr, int n) {
+    int *p = &arr[n / 2];
+    *pp = p;
+    p += 2;
+    p -= 1;
+    ++*p;
+    (*pp)[1] = *p--;
+    return *&arr[0] + **pp;
+}
+
+long mixed_arith(int a, long b, char c) {
+    return a + b * c - (long)(a / (c ? c : 1)) % 7;
+}
+
+int assignment_soup(int a, int b) {
+    int x = 0;
+    x += a;
+    x -= b;
+    x *= 2;
+    x /= 3;
+    x %= 100;
+    x <<= 1;
+    x >>= 2;
+    x &= 0xFF;
+    x |= a & 1;
+    x ^= b & 1;
+    return x;
+}
+
+unsigned long sizes(void) {
+    return sizeof(int) + sizeof(char *) + sizeof(struct { int a; int b; })
+        + sizeof "literal" + sizeof(u32);
+}
+
+int chained_calls(int (*f)(int), int (*g)(int), int x) {
+    return f(g(f(x))) + (f ? f : g)(x);
+}

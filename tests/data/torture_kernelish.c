@@ -1,0 +1,83 @@
+/* Kernel-flavoured torture: attributes, statics, goto ladders, the
+   list_for_each shape, and error-path discipline. */
+
+typedef unsigned int u32;
+typedef unsigned long ulong;
+
+struct list_node { struct list_node *next; void *payload; };
+struct queue { struct list_node *head; int len; int lck; };
+
+static struct queue global_q;
+static int stats_enqueued;
+
+static __inline__ int __attribute__((always_inline)) q_len(struct queue *q) {
+    return q->len;
+}
+
+int q_enqueue(struct queue *q, void *payload) __attribute__((warn_unused_result));
+
+int q_enqueue(struct queue *q, void *payload) {
+    struct list_node *node = kmalloc(sizeof(struct list_node));
+    int rc = 0;
+
+    if (!node)
+        return -1;
+    node->payload = payload;
+
+    lock(&q->lck);
+    if (q->len >= 1024) {
+        rc = -2;
+        goto out_free;
+    }
+    node->next = q->head;
+    q->head = node;
+    q->len++;
+    stats_enqueued++;
+    unlock(&q->lck);
+    return 0;
+
+out_free:
+    unlock(&q->lck);
+    kfree(node);
+    return rc;
+}
+
+void *q_dequeue(struct queue *q) {
+    struct list_node *node;
+    void *payload = 0;
+
+    lock(&q->lck);
+    node = q->head;
+    if (node) {
+        q->head = node->next;
+        q->len--;
+    }
+    unlock(&q->lck);
+
+    if (node) {
+        payload = node->payload;
+        kfree(node);
+    }
+    return payload;
+}
+
+int q_walk(struct queue *q, int (*visit)(void *)) {
+    struct list_node *cursor;
+    int visited = 0;
+
+    lock(&q->lck);
+    for (cursor = q->head; cursor; cursor = cursor->next) {
+        if (visit(cursor->payload))
+            visited++;
+    }
+    unlock(&q->lck);
+    return visited;
+}
+
+u32 q_checksum(const struct queue *q) {
+    u32 sum = 0;
+    const struct list_node *cursor;
+    for (cursor = q->head; cursor != 0; cursor = cursor->next)
+        sum = (sum << 3) ^ (u32)(ulong)cursor->payload;
+    return sum;
+}

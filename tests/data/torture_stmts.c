@@ -1,0 +1,71 @@
+/* Statement torture: control flow in every shape. */
+
+int collatz_steps(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0)
+            n = n / 2;
+        else
+            n = 3 * n + 1;
+        steps++;
+        if (steps > 1000)
+            break;
+    }
+    return steps;
+}
+
+int classify(int c) {
+    switch (c) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+        return 1;
+    case '0':
+        return 2;
+    default:
+        if (c < 0)
+            return -1;
+        return 0;
+    }
+}
+
+int nested_loops(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = i; j < n; j++) {
+            if ((i + j) % 7 == 0)
+                continue;
+            do {
+                total += i * j;
+            } while (0);
+        }
+        if (total > 10000)
+            goto overflow;
+    }
+    return total;
+overflow:
+    return -1;
+}
+
+int ternaries(int a, int b, int c) {
+    int max = a > b ? (a > c ? a : c) : (b > c ? b : c);
+    int sign = max < 0 ? -1 : max > 0 ? 1 : 0;
+    return sign * max;
+}
+
+int commas(int n) {
+    int i, j;
+    for (i = 0, j = n; i < j; i++, j--)
+        ;
+    return i;
+}
+
+int shortcircuit(int *p, int n) {
+    if (p && *p > 0 && n / *p > 2)
+        return 1;
+    if (!p || n == 0)
+        return -1;
+    return 0;
+}

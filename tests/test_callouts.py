@@ -1,0 +1,86 @@
+"""Callout library tests (§4)."""
+
+from repro.cfront.parser import parse_expression
+from repro.metal.callouts import (
+    LIBRARY,
+    mc_arg,
+    mc_callee_name,
+    mc_constant_value,
+    mc_contains,
+    mc_identifier,
+    mc_is_call_to,
+    mc_is_constant,
+    mc_is_deref_of,
+    mc_is_ident,
+    mc_is_null,
+    mc_num_args,
+)
+
+
+def e(text):
+    return parse_expression(text)
+
+
+class TestCalloutLibrary:
+    def test_mc_identifier(self):
+        assert mc_identifier(e("dev->ptr")) == "dev->ptr"
+        assert mc_identifier([e("a"), e("b")]) == "a, b"
+        assert mc_identifier(None) == "<none>"
+
+    def test_mc_is_call_to(self):
+        assert mc_is_call_to(e("gets(buf)"), "gets")
+        assert not mc_is_call_to(e("fgets(buf)"), "gets")
+        # also accepts bare callee idents (fn-hole-in-callee-position)
+        assert mc_is_call_to(e("gets"), "gets")
+
+    def test_mc_callee_name(self):
+        assert mc_callee_name(e("f(1)")) == "f"
+        assert mc_callee_name(e("(*fp)(1)")) == ""
+
+    def test_mc_is_ident_and_name(self):
+        assert mc_is_ident(e("x"))
+        assert not mc_is_ident(e("x + 1"))
+
+    def test_mc_is_constant(self):
+        assert mc_is_constant(e("42"))
+        assert mc_is_constant(e('"str"'))
+        assert not mc_is_constant(e("x"))
+        assert mc_constant_value(e("42")) == 42
+        assert mc_constant_value(e("x")) is None
+
+    def test_mc_is_null(self):
+        assert mc_is_null(e("0"))
+        assert mc_is_null(e("(char *)0"))
+        assert not mc_is_null(e("1"))
+        assert not mc_is_null(e("p"))
+
+    def test_mc_args(self):
+        call = e("f(a, b, c)")
+        assert mc_num_args(call) == 3
+        assert mc_identifier(mc_arg(call, 1)) == "b"
+        assert mc_arg(call, 9) is None
+
+    def test_mc_contains(self):
+        assert mc_contains(e("a[i] + f(j)"), "j")
+        assert not mc_contains(e("a[i]"), "j")
+        assert mc_contains([e("x"), e("y")], "y")
+
+    def test_mc_is_deref_of(self):
+        p = e("p")
+        assert mc_is_deref_of(e("*p"), p)
+        assert mc_is_deref_of(e("p->len"), p)
+        assert mc_is_deref_of(e("p[2]"), p)
+        assert not mc_is_deref_of(e("p + 1"), p)
+        assert not mc_is_deref_of(e("*q"), p)
+        assert not mc_is_deref_of(e("p.len"), p)  # dot is not a deref
+
+    def test_library_complete(self):
+        for name in (
+            "mc_identifier",
+            "mc_is_call_to",
+            "mc_stmt",
+            "mc_is_branch",
+            "mc_is_deref_of",
+            "mc_annotation",
+        ):
+            assert name in LIBRARY

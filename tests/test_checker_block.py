@@ -1,0 +1,100 @@
+"""Tests for the sleep-under-lock (blocking) checker."""
+
+from conftest import messages, run_checker
+
+from repro.checkers import blocking_checker
+
+
+class TestBlockingChecker:
+    def test_blocking_under_spinlock(self):
+        code = (
+            "int f(int *l, char *d, char *s) {\n"
+            "    spin_lock(l);\n"
+            "    copy_from_user(d, s, 8);\n"
+            "    spin_unlock(l);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, blocking_checker())
+        assert any("may block" in m for m in messages(result))
+
+    def test_blocking_outside_lock_is_fine(self):
+        code = (
+            "int f(int *l, char *d, char *s) {\n"
+            "    copy_from_user(d, s, 8);\n"
+            "    spin_lock(l);\n"
+            "    spin_unlock(l);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        assert messages(run_checker(code, blocking_checker())) == []
+
+    def test_nonblocking_under_lock_is_fine(self):
+        code = (
+            "int f(int *l) {\n"
+            "    spin_lock(l);\n"
+            "    do_math(3);\n"
+            "    spin_unlock(l);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        assert messages(run_checker(code, blocking_checker())) == []
+
+    def test_nesting_depth_tracked(self):
+        code = (
+            "int f(int *a, int *b) {\n"
+            "    spin_lock(a);\n"
+            "    spin_lock(b);\n"
+            "    spin_unlock(b);\n"
+            "    msleep(5);\n"  # still under a!
+            "    spin_unlock(a);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, blocking_checker())
+        assert any("may block" in m for m in messages(result))
+
+    def test_fully_unlocked_then_blocking(self):
+        code = (
+            "int f(int *a, int *b) {\n"
+            "    spin_lock(a);\n"
+            "    spin_lock(b);\n"
+            "    spin_unlock(b);\n"
+            "    spin_unlock(a);\n"
+            "    msleep(5);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        assert messages(run_checker(code, blocking_checker())) == []
+
+    def test_interrupts_count_as_atomic(self):
+        code = (
+            "int f(void) {\n"
+            "    cli();\n"
+            "    schedule();\n"
+            "    sti();\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, blocking_checker())
+        assert any("may block" in m for m in messages(result))
+
+    def test_interprocedural_atomic_context(self):
+        code = (
+            "int helper(char *d, char *s) { copy_from_user(d, s, 4);"
+            " return 0; }\n"
+            "int f(int *l, char *d, char *s) {\n"
+            "    spin_lock(l);\n"
+            "    helper(d, s);\n"
+            "    spin_unlock(l);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, blocking_checker())
+        assert any("may block" in m for m in messages(result))
+
+    def test_error_severity(self):
+        code = "int f(int *l) { spin_lock(l); schedule(); spin_unlock(l); return 0; }"
+        result = run_checker(code, blocking_checker())
+        assert result.reports[0].severity == "ERROR"
+        assert result.reports[0].rule_id == "sleep-in-atomic"

@@ -1,0 +1,118 @@
+"""Tests for the leak (ownership) checker and the statistical
+return-value checker."""
+
+from conftest import messages, run_checker
+
+from repro.cfront.parser import parse
+from repro.cfg import CallGraph
+from repro.checkers.leak import leak_checker
+from repro.checkers.retcheck import (
+    collect_call_uses,
+    infer_must_check_rules,
+    report_deviant_sites,
+)
+
+
+class TestLeakChecker:
+    def test_leak_on_error_path(self):
+        code = (
+            "int f(int n, int err) {\n"
+            "    char *b = kmalloc(n);\n"
+            "    if (err)\n"
+            "        return -1;\n"  # leaked!
+            "    kfree(b);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, leak_checker())
+        assert messages(result) == ["b allocated with kmalloc is leaked on this path"]
+
+    def test_freed_is_fine(self):
+        code = "int f(int n) { char *b = kmalloc(n); kfree(b); return 0; }"
+        assert messages(run_checker(code, leak_checker())) == []
+
+    def test_returned_transfers_ownership(self):
+        code = "char *f(int n) { char *b = kmalloc(n); return b; }"
+        assert messages(run_checker(code, leak_checker())) == []
+
+    def test_published_via_registration(self):
+        code = (
+            "int f(int n) { char *b = kmalloc(n); register_buf(b); return 0; }"
+        )
+        assert messages(run_checker(code, leak_checker())) == []
+
+    def test_stored_through_pointer(self):
+        code = (
+            "struct holder { char *buf; };\n"
+            "int f(struct holder *h, int n) {\n"
+            "    char *b = kmalloc(n);\n"
+            "    h->buf = b;\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        assert messages(run_checker(code, leak_checker())) == []
+
+    def test_plain_leak(self):
+        code = "int f(int n) { char *b = kmalloc(n); return 0; }"
+        result = run_checker(code, leak_checker())
+        assert len(result.reports) == 1
+        assert result.reports[0].rule_id == "kmalloc"
+
+    def test_example_counting(self):
+        code = (
+            "int a(int n) { char *b = kmalloc(n); kfree(b); return 0; }\n"
+            "char *c(int n) { char *b = kmalloc(n); return b; }\n"
+            "int d(int n) { char *b = kmalloc(n); return 0; }\n"
+        )
+        result = run_checker(code, leak_checker())
+        examples, violations = result.log.rule_counts("kmalloc")
+        assert examples == 2 and violations == 1
+
+
+class TestReturnCheckInference:
+    CODE = (
+        "int open_dev(int n);\n"
+        "void log_msg(int n);\n"
+        "int user_a(int n) { int fd = open_dev(n); log_msg(1); return fd; }\n"
+        "int user_b(int n) { if (open_dev(n) < 0) return -1; log_msg(2); return 0; }\n"
+        "int user_c(int n) { return open_dev(n); }\n"
+        "int user_d(int n) { int fd; fd = open_dev(n); log_msg(3); return fd; }\n"
+        "int deviant(int n) { open_dev(n); log_msg(4); return 0; }\n"
+    )
+
+    def callgraph(self):
+        return CallGraph.from_units([parse(self.CODE, "ret.c")])
+
+    def test_call_use_classification(self):
+        uses = collect_call_uses(self.callgraph())
+        open_uses = [u for u in uses if u.callee == "open_dev"]
+        assert sum(1 for u in open_uses if u.checked) == 4
+        assert sum(1 for u in open_uses if not u.checked) == 1
+        log_uses = [u for u in uses if u.callee == "log_msg"]
+        assert all(not u.checked for u in log_uses)
+
+    def test_rule_inference(self):
+        rules = infer_must_check_rules(self.callgraph())
+        by_name = {r.callee: r for r in rules}
+        assert "open_dev" in by_name
+        assert by_name["open_dev"].checked == 4
+        assert by_name["open_dev"].ignored == 1
+        # log_msg is never checked: no must-check rule survives min_checked
+        assert "log_msg" not in by_name
+
+    def test_deviant_reporting(self):
+        reports = report_deviant_sites(self.callgraph())
+        assert len(reports) == 1
+        assert reports[0].function == "deviant"
+        assert reports[0].rule_id == "open_dev"
+
+    def test_min_z_threshold(self):
+        # with a huge threshold nothing is confident enough
+        assert report_deviant_sites(self.callgraph(), min_z=10.0) == []
+
+    def test_comma_operator_discards_left(self):
+        code = "int f(int n) { int x = (g(n), h(n)); return x; }"
+        uses = collect_call_uses(CallGraph.from_units([parse(code)]))
+        by_callee = {u.callee: u.checked for u in uses}
+        assert by_callee["g"] is False
+        assert by_callee["h"] is True

@@ -1,0 +1,214 @@
+"""Tests for the null, mallocfail, interrupt, security, format-string,
+and range checkers."""
+
+from conftest import messages, run_checker
+
+from repro.checkers import (
+    format_string_checker,
+    interrupt_checker,
+    malloc_fail_checker,
+    null_checker,
+    range_check_checker,
+    user_pointer_checker,
+)
+
+
+class TestNullChecker:
+    def test_checked_pointer_is_safe(self):
+        code = (
+            "int f(int n) {\n"
+            "    int *p = kmalloc(n);\n"
+            "    if (!p)\n"
+            "        return -1;\n"
+            "    return *p;\n"
+            "}\n"
+        )
+        assert messages(run_checker(code, null_checker())) == []
+
+    def test_unchecked_deref(self):
+        code = "int f(int n) { int *p = kmalloc(n); return *p; }"
+        result = run_checker(code, null_checker())
+        assert any("may be NULL" in m for m in messages(result))
+
+    def test_deref_on_null_path(self):
+        code = (
+            "int f(int n) {\n"
+            "    int *p = kmalloc(n);\n"
+            "    if (p)\n"
+            "        return 0;\n"
+            "    return *p;\n"
+            "}\n"
+        )
+        result = run_checker(code, null_checker())
+        assert any("IS NULL" in m for m in messages(result))
+
+    def test_synonym_check_transfers(self):
+        # §8's synonym example: checking p also checks q.
+        code = (
+            "int f(int n) {\n"
+            "    int *p, *q;\n"
+            "    p = q = kmalloc(n);\n"
+            "    if (!p)\n"
+            "        return 0;\n"
+            "    return *q;\n"
+            "}\n"
+        )
+        assert messages(run_checker(code, null_checker())) == []
+
+    def test_eq_zero_check(self):
+        code = (
+            "int f(int n) {\n"
+            "    int *p = kmalloc(n);\n"
+            "    if (p == 0)\n"
+            "        return -1;\n"
+            "    return *p;\n"
+            "}\n"
+        )
+        assert messages(run_checker(code, null_checker())) == []
+
+
+class TestMallocFail:
+    def test_unchecked(self):
+        code = "int f(int n) { int *p = kmalloc(n); *p = 1; return 0; }"
+        result = run_checker(code, malloc_fail_checker())
+        assert any("without a NULL check" in m for m in messages(result))
+
+    def test_checked(self):
+        code = (
+            "int f(int n) { int *p = kmalloc(n); if (!p) return -1;"
+            " *p = 1; return 0; }"
+        )
+        assert messages(run_checker(code, malloc_fail_checker())) == []
+
+    def test_severity_is_minor(self):
+        # §9 ranks allocation failures lowest.
+        code = "int f(int n) { int *p = kmalloc(n); *p = 1; return 0; }"
+        result = run_checker(code, malloc_fail_checker())
+        assert result.reports[0].severity == "MINOR"
+
+
+class TestInterrupts:
+    def test_clean_pairing(self):
+        code = "int f(void) { cli(); sti(); return 0; }"
+        assert messages(run_checker(code, interrupt_checker())) == []
+
+    def test_double_disable(self):
+        code = "int f(void) { cli(); cli(); sti(); return 0; }"
+        result = run_checker(code, interrupt_checker())
+        assert any("twice" in m for m in messages(result))
+
+    def test_stray_enable(self):
+        code = "int f(void) { sti(); return 0; }"
+        result = run_checker(code, interrupt_checker())
+        assert any("already enabled" in m for m in messages(result))
+
+    def test_exit_disabled(self):
+        code = "int f(void) { cli(); return 0; }"
+        result = run_checker(code, interrupt_checker())
+        assert any("ends with interrupts disabled" in m for m in messages(result))
+
+    def test_branch_dependent_state(self):
+        # disabled only on one path: the bad path is found, the good one
+        # is clean.
+        code = (
+            "int f(int c) {\n"
+            "    cli();\n"
+            "    if (c) {\n"
+            "        sti();\n"
+            "        return 1;\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, interrupt_checker())
+        assert messages(result) == ["path ends with interrupts disabled!"]
+
+
+class TestUserPointer:
+    def test_deref_tainted(self):
+        code = "int f(int c) { char *p = get_user_ptr(c); *p = 1; return 0; }"
+        result = run_checker(code, user_pointer_checker())
+        assert len(result.reports) == 1
+        assert result.reports[0].severity == "SECURITY"
+
+    def test_sanitized_is_clean(self):
+        code = (
+            "int f(int c) { char b[8]; char *p = get_user_ptr(c);"
+            " copy_from_user(b, p, 8); return 0; }"
+        )
+        assert messages(run_checker(code, user_pointer_checker())) == []
+
+    def test_taint_flows_through_call(self):
+        code = (
+            "int use(char *q) { return *q; }\n"
+            "int f(int c) { char *p = get_user_ptr(c); return use(p); }\n"
+        )
+        result = run_checker(code, user_pointer_checker())
+        assert len(result.reports) == 1
+
+
+class TestFormatString:
+    def test_non_literal_format(self):
+        code = "int f(char *s) { printf(s); return 0; }"
+        result = run_checker(code, format_string_checker())
+        assert any("non-literal" in m for m in messages(result))
+
+    def test_literal_format_ok(self):
+        code = 'int f(int x) { printf("%d", x); return 0; }'
+        assert messages(run_checker(code, format_string_checker())) == []
+
+    def test_tainted_format(self):
+        code = (
+            "int f(int c) { char *s = get_user_str(c); printf(s); return 0; }"
+        )
+        result = run_checker(code, format_string_checker())
+        assert any("user-controlled" in m for m in messages(result))
+
+    def test_format_position_by_family(self):
+        code = 'int f(char *s) { fprintf(stderr, "ok"); sprintf(s, "ok"); return 0; }'
+        assert not any(
+            "non-literal" in m
+            for m in messages(run_checker(code, format_string_checker()))
+        )
+
+
+class TestRangeChecker:
+    def test_unchecked_index(self):
+        code = (
+            "int f(int c) { int t[8]; int i = get_user_int(c);"
+            " t[i] = 1; return 0; }"
+        )
+        result = run_checker(code, range_check_checker())
+        assert len(result.reports) == 1
+        assert result.reports[0].severity == "SECURITY"
+
+    def test_upper_bound_check(self):
+        code = (
+            "int f(int c) { int t[8]; int i = get_user_int(c);\n"
+            " if (i < 8)\n"
+            "     t[i] = 1;\n"
+            " return 0; }"
+        )
+        assert messages(run_checker(code, range_check_checker())) == []
+
+    def test_ge_early_return_idiom(self):
+        code = (
+            "int f(int c) { int t[8]; int i = get_user_int(c);\n"
+            " if (i >= 8)\n"
+            "     return -1;\n"
+            " t[i] = 1;\n"
+            " return 0; }"
+        )
+        assert messages(run_checker(code, range_check_checker())) == []
+
+    def test_index_still_tainted_on_unchecked_path(self):
+        code = (
+            "int f(int c) { int t[8]; int i = get_user_int(c);\n"
+            " if (i < 8) {\n"
+            "     t[i] = 1;\n"
+            " }\n"
+            " t[i] = 2;\n"  # unchecked on the other path
+            " return 0; }"
+        )
+        result = run_checker(code, range_check_checker())
+        assert len(result.reports) == 1

@@ -1,0 +1,69 @@
+"""Statistical null-argument checker tests."""
+
+from repro.cfront.parser import parse
+from repro.cfg import CallGraph
+from repro.checkers.nullarg import (
+    collect_argument_uses,
+    infer_nonnull_rules,
+    report_null_argument_sites,
+)
+
+CODE = (
+    "struct s { int x; };\n"
+    "int a(struct s *p) { consume(p, 1); return 0; }\n"
+    "int b(struct s *p) { consume(p, 2); return 0; }\n"
+    "int c(struct s *p) { consume(p, 0); return 0; }\n"  # 0 as arg1: fine
+    "int d(struct s *p) { consume(p, 3); return 0; }\n"
+    "int deviant(void) { consume(0, 4); return 0; }\n"  # NULL as arg0!
+)
+
+
+def callgraph(code=CODE):
+    return CallGraph.from_units([parse(code, "n.c")])
+
+
+class TestCollection:
+    def test_argument_classification(self):
+        uses = collect_argument_uses(callgraph())
+        arg0 = [(null, ptr) for callee, i, null, ptr, loc, fn in uses
+                if callee == "consume" and i == 0]
+        assert sum(1 for null, __ in arg0 if null) == 1
+        assert sum(1 for __, ptr in arg0 if ptr) == 4
+
+    def test_cast_null_counts(self):
+        code = "int f(void) { sink((char *)0); sink(p); sink(q); sink(r); return 0; }"
+        uses = collect_argument_uses(callgraph(code))
+        assert sum(1 for __, __, null, __, __, __ in uses if null) == 1
+
+
+class TestInference:
+    def test_rule_found(self):
+        rules = infer_nonnull_rules(callgraph())
+        by_key = {(r.callee, r.index): r for r in rules}
+        rule = by_key[("consume", 0)]
+        assert rule.non_null == 4
+        assert rule.violations == 1
+        assert rule.z_score > 1.0
+
+    def test_integer_position_not_confused(self):
+        # arg 1 is an int position: the literal 0 there is the integer
+        # zero, not NULL, so no rule is inferred for it at all.
+        rules = infer_nonnull_rules(callgraph())
+        keys = {(r.callee, r.index) for r in rules}
+        assert ("consume", 0) in keys
+        assert ("consume", 1) not in keys
+
+    def test_min_threshold(self):
+        code = "int f(void) { rare(0); return 0; }"
+        assert infer_nonnull_rules(callgraph(code)) == []
+
+
+class TestReporting:
+    def test_deviant_site_reported(self):
+        reports = report_null_argument_sites(callgraph(), min_z=1.2)
+        assert len(reports) == 1
+        assert reports[0].function == "deviant"
+        assert "argument 0 of consume()" in reports[0].message
+
+    def test_z_threshold_filters(self):
+        assert report_null_argument_sites(callgraph(), min_z=10.0) == []

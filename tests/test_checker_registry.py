@@ -1,0 +1,55 @@
+"""Every registered checker must compile and satisfy basic invariants."""
+
+import pytest
+
+from repro.checkers import ALL_CHECKERS
+from repro.metal.sm import Extension, StateRef, STOP
+
+
+@pytest.mark.parametrize("name", sorted(ALL_CHECKERS))
+class TestRegistry:
+    def test_compiles(self, name):
+        ext = ALL_CHECKERS[name]()
+        assert isinstance(ext, Extension)
+        assert ext.transitions
+
+    def test_fresh_instances(self, name):
+        # factories must not share mutable state between calls
+        a = ALL_CHECKERS[name]()
+        b = ALL_CHECKERS[name]()
+        assert a is not b
+        assert a.transitions is not b.transitions
+
+    def test_initial_global_state_defined(self, name):
+        ext = ALL_CHECKERS[name]()
+        assert ext.initial_global
+
+    def test_state_references_resolve(self, name):
+        ext = ALL_CHECKERS[name]()
+        declared_vars = set(ext.specific_vars)
+        for rule in ext.transitions:
+            refs = [rule.source]
+            target = rule.target
+            if target is not None:
+                if hasattr(target, "true_state"):
+                    refs.extend([target.true_state, target.false_state])
+                else:
+                    refs.append(target)
+            for ref in refs:
+                if ref is None or not isinstance(ref, StateRef):
+                    continue
+                if not ref.is_global:
+                    assert ref.var in declared_vars, (name, ref)
+
+    def test_sources_have_transitions_or_actions(self, name):
+        ext = ALL_CHECKERS[name]()
+        assert any(
+            rule.target is not None or rule.action is not None
+            for rule in ext.transitions
+        )
+
+    def test_runs_on_trivial_program(self, name):
+        from conftest import run_checker
+
+        result = run_checker("int f(int x) { return x; }", ALL_CHECKERS[name]())
+        assert result.reports == []

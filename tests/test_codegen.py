@@ -1,0 +1,104 @@
+"""Workload generator tests: determinism, parseability, ground truth."""
+
+from repro.cfront.parser import parse
+from repro.codegen import generate_kernel_module
+from repro.codegen.generator import BUG_KINDS, generate_wrapper_module
+from repro.codegen.scaling import (
+    call_chain_module,
+    diamond_function,
+    loop_module,
+    tracked_objects_function,
+)
+from repro.driver.project import Project
+
+
+class TestKernelGenerator:
+    def test_deterministic(self):
+        a = generate_kernel_module(seed=7, n_functions=20, bug_rate=0.4)
+        b = generate_kernel_module(seed=7, n_functions=20, bug_rate=0.4)
+        assert a.source == b.source
+        assert a.bugs == b.bugs
+
+    def test_different_seeds_differ(self):
+        a = generate_kernel_module(seed=1, n_functions=20, bug_rate=0.4)
+        b = generate_kernel_module(seed=2, n_functions=20, bug_rate=0.4)
+        assert a.bugs != b.bugs or a.source != b.source
+
+    def test_parses(self):
+        workload = generate_kernel_module(seed=3, n_functions=30, bug_rate=0.5)
+        unit = parse(workload.source, "gen.c")
+        # >= because some idioms (interproc-uaf) emit a helper function too
+        assert len(unit.functions()) >= 30
+        defined = {f.name for f in unit.functions()}
+        assert set(workload.function_names) <= defined
+
+    def test_bug_rate_extremes(self):
+        none = generate_kernel_module(seed=0, n_functions=14, bug_rate=0.0)
+        assert none.bugs == []
+        full = generate_kernel_module(seed=0, n_functions=14, bug_rate=1.0)
+        assert len(full.bugs) == 14
+
+    def test_all_kinds_covered(self):
+        workload = generate_kernel_module(seed=0, n_functions=len(BUG_KINDS), bug_rate=1.0)
+        assert {b.kind for b in workload.bugs} == set(BUG_KINDS)
+
+    def test_ground_truth_scoring(self):
+        from repro.checkers import (
+            free_checker,
+            lock_checker,
+            malloc_fail_checker,
+            range_check_checker,
+            user_pointer_checker,
+        )
+
+        workload = generate_kernel_module(seed=11, n_functions=28, bug_rate=0.5)
+        project = Project()
+        project.compile_text(workload.source, "gen.c")
+        result = project.run(
+            [
+                free_checker(("kfree", "vfree")),
+                lock_checker(),
+                malloc_fail_checker(),
+                range_check_checker(),
+                user_pointer_checker(),
+            ]
+        )
+        buggy = {b.function for b in workload.bugs}
+        hits = sum(
+            1 for b in workload.bugs
+            if any(r.function == b.function for r in result.reports)
+        )
+        false_positives = [r for r in result.reports if r.function not in buggy]
+        assert hits == len(workload.bugs)
+        assert false_positives == []
+
+
+class TestWrapperModule:
+    def test_wrappers_and_bugs(self):
+        source, wrappers, real_bugs = generate_wrapper_module(seed=0, n_users=14)
+        unit = parse(source, "wrap.c")
+        names = {f.name for f in unit.functions()}
+        assert set(wrappers) <= names
+        assert set(real_bugs) <= names
+        assert real_bugs  # at least one injected bug
+
+
+class TestScalingWorkloads:
+    def test_diamond_parses(self):
+        source = "struct device { int x; };\n" + diamond_function(8)
+        unit = parse(source)
+        assert unit.function("diamonds") is not None
+
+    def test_tracked_objects_parses(self):
+        source = "struct device { int x; };\n" + tracked_objects_function(5)
+        unit = parse(source)
+        fn = unit.function("tracked")
+        assert len(fn.params) == 6  # 5 pointers + n
+
+    def test_call_chain_parses(self):
+        unit = parse(call_chain_module(5, 2))
+        assert len(unit.functions()) == 5
+
+    def test_loop_module_parses(self):
+        unit = parse(loop_module())
+        assert unit.function("looper") is not None

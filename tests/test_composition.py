@@ -1,0 +1,89 @@
+"""Composition tests (§3.2): AST annotations, path-kill, error-path
+severity annotation."""
+
+from conftest import messages
+
+from repro.cfront.parser import parse
+from repro.checkers import free_checker, path_kill_extension
+from repro.checkers.pathkill import error_path_annotator
+from repro.engine.analysis import Analysis
+from repro.engine.composition import AnnotationStore
+
+
+class TestAnnotationStore:
+    def test_put_get(self):
+        store = AnnotationStore()
+        node = parse("int x;").decls[0]
+        store.put(node, "k", 42)
+        assert store.get(node, "k") == 42
+        assert store.get(node, "other") is None
+
+    def test_default(self):
+        store = AnnotationStore()
+        node = parse("int x;").decls[0]
+        assert store.get(node, "k", "dflt") == "dflt"
+
+    def test_nodes_with(self):
+        store = AnnotationStore()
+        unit = parse("int x; int y;")
+        store.put(unit.decls[0], "k", 1)
+        store.put(unit.decls[1], "k", 2)
+        assert sorted(v for __, v in store.nodes_with("k")) == [1, 2]
+
+
+class TestPathKillComposition:
+    CODE = (
+        "int f(int *p, int c) {\n"
+        "    kfree(p);\n"
+        "    if (c) {\n"
+        "        panic();\n"
+        "        return *p;\n"  # dominated by panic: must be suppressed
+        "    }\n"
+        "    return *p;\n"  # real error
+        "}\n"
+    )
+
+    def test_without_pathkill_two_reports(self):
+        unit = parse(self.CODE, "pk.c")
+        result = Analysis([unit]).run(free_checker())
+        assert len(result.reports) >= 1
+        lines = {r.location.line for r in result.reports}
+        assert 5 in lines  # the panic-dominated report fires
+
+    def test_with_pathkill_composed(self):
+        # Run path_kill first, then the free checker in the SAME analysis:
+        # the annotation suppresses the panic path.
+        unit = parse(self.CODE, "pk.c")
+        analysis = Analysis([unit])
+        result = analysis.run([path_kill_extension(), free_checker()])
+        lines = {r.location.line for r in result.reports}
+        assert lines == {7}
+
+    def test_annotation_present_after_pathkill_run(self):
+        unit = parse(self.CODE, "pk.c")
+        analysis = Analysis([unit])
+        analysis.run(path_kill_extension())
+        flagged = analysis.annotations.nodes_with("pathkill")
+        assert len(flagged) == 1
+
+    def test_pathkill_respects_custom_terminators(self):
+        code = self.CODE.replace("panic()", "my_die()")
+        unit = parse(code, "pk.c")
+        analysis = Analysis([unit])
+        result = analysis.run([path_kill_extension(("my_die",)), free_checker()])
+        assert {r.location.line for r in result.reports} == {7}
+
+
+class TestErrorPathAnnotator:
+    def test_marks_error_returns(self):
+        code = (
+            "int f(int c) {\n"
+            "    if (c)\n"
+            "        return -1;\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        unit = parse(code, "ep.c")
+        analysis = Analysis([unit])
+        analysis.run(error_path_annotator())
+        assert len(analysis.annotations.nodes_with("onpath")) == 1

@@ -1,0 +1,144 @@
+"""Data values (§3.1) interacting with the cache: instances with
+different data are different state tuples, so the analysis explores both
+-- the mechanism behind the recursive-lock checker."""
+
+from conftest import messages, run_checker
+
+from repro.checkers.lock import counting_lock_checker
+from repro.metal import ANY_POINTER, Extension
+
+
+class TestDataValueCaching:
+    def test_different_depths_not_conflated(self):
+        # The same join block is reached with depth 1 and depth 2; both
+        # must be explored (they are distinct tuples).
+        code = (
+            "int f(int *l, int c) {\n"
+            "    lock(l);\n"
+            "    if (c)\n"
+            "        lock(l);\n"
+            "    done();\n"
+            "    if (c)\n"
+            "        unlock(l);\n"
+            "    unlock(l);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, counting_lock_checker())
+        # both branches balance out: pruning correlates the two ifs
+        assert messages(result) == []
+
+    def test_depth_mismatch_found(self):
+        code = (
+            "int f(int *l, int c) {\n"
+            "    lock(l);\n"
+            "    if (c)\n"
+            "        lock(l);\n"
+            "    unlock(l);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, counting_lock_checker())
+        assert any("still held 1 deep" in m for m in messages(result))
+
+    def test_data_tuple_key(self):
+        from repro.cfront.parser import parse_expression
+        from repro.engine.state import VarInstance
+
+        a = VarInstance("l", parse_expression("m"), "held", {"depth": 1})
+        b = VarInstance("l", parse_expression("m"), "held", {"depth": 2})
+        c = VarInstance("l", parse_expression("m"), "held", {"depth": 1})
+        assert a.tuple_key("s") != b.tuple_key("s")
+        assert a.tuple_key("s") == c.tuple_key("s")
+
+    def test_data_survives_interprocedural_transfer(self):
+        code = (
+            "void grab_twice(int *l) { lock(l); lock(l); }\n"
+            "int root(int *l) {\n"
+            "    grab_twice(l);\n"
+            "    unlock(l);\n"
+            "    return 0;\n"  # still held 1 deep
+            "}\n"
+        )
+        result = run_checker(code, counting_lock_checker())
+        assert any("still held 1 deep" in m for m in messages(result))
+
+
+class TestUserGlobalsVsPathData:
+    def test_user_globals_accumulate_across_paths(self):
+        ext = Extension("counter")
+        ext.state_var("v", ANY_POINTER)
+
+        def bump(ctx):
+            ctx.globals["count"] = ctx.globals.get("count", 0) + 1
+
+        ext.transition("start", "{ mark(v) }", to="v.seen", action=bump)
+        code = (
+            "int f(int *a, int *b, int c) {\n"
+            "    if (c)\n"
+            "        mark(a);\n"
+            "    else\n"
+            "        mark(b);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        from repro.cfront.parser import parse
+        from repro.engine.analysis import Analysis
+
+        analysis = Analysis([parse(code)])
+        analysis.run(ext)
+        # both branch paths bumped the persistent counter
+        assert analysis.user_globals(ext)["count"] == 2
+
+    def test_path_data_reverts_on_backtrack(self):
+        ext = Extension("pathlocal")
+        ext.state_var("v", ANY_POINTER)
+        observed = []
+
+        def record(ctx):
+            observed.append(ctx.path_data.get("tag"))
+
+        def tag(ctx):
+            ctx.path_data["tag"] = "tagged"
+
+        ext.transition("start", "{ mark(v) }", to="v.seen", action=tag)
+        ext.transition("start", "{ probe() }", action=record)
+        code = (
+            "int f(int *a, int c) {\n"
+            "    if (c)\n"
+            "        mark(a);\n"
+            "    probe();\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, ext)
+        # probe() sees the tag only on the path that ran mark(a)
+        assert sorted(observed, key=str) == [None, "tagged"]
+
+
+class TestResultConveniences:
+    def test_reports_for_filters_by_checker(self):
+        from repro.cfront.parser import parse
+        from repro.engine.analysis import Analysis
+        from repro.checkers import free_checker, lock_checker
+
+        code = "int f(int *p) { kfree(p); lock(p); return *p; }"
+        result = Analysis([parse(code)]).run([free_checker(), lock_checker()])
+        frees = result.reports_for("free_checker")
+        locks = result.reports_for("lock_checker")
+        assert all(r.checker == "free_checker" for r in frees)
+        assert all(r.checker == "lock_checker" for r in locks)
+        assert len(frees) + len(locks) == len(result.reports)
+
+    def test_run_on_function(self):
+        from repro.cfront.parser import parse
+        from repro.engine.analysis import Analysis
+        from repro.checkers import free_checker
+
+        code = (
+            "int a(int *p) { kfree(p); return *p; }\n"
+            "int b(int *p) { kfree(p); return *p; }\n"
+        )
+        analysis = Analysis([parse(code)])
+        result = analysis.run_on_function(free_checker(), "a")
+        assert [r.function for r in result.reports] == ["a"]

@@ -1,0 +1,213 @@
+"""Property-based engine tests.
+
+The central §5 claim: because extensions are deterministic, caching is a
+pure optimization -- on loop-free programs the cached and uncached
+analyses report exactly the same errors.  We generate random branchy
+programs with random kfree/use sequences and compare.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfront.parser import parse
+from repro.checkers import free_checker, lock_checker
+from repro.engine.analysis import Analysis, AnalysisOptions
+
+
+# A random program is a list of simple operations over a fixed set of
+# pointers, nested in a random branch skeleton.
+_POINTERS = ["p0", "p1", "p2"]
+
+_ops = st.sampled_from(
+    ["kfree(%s);", "use(%s);", "sink = *%s;", "%s = fresh();"]
+)
+_ptrs = st.sampled_from(_POINTERS)
+_stmt = st.tuples(_ops, _ptrs).map(lambda t: t[0] % t[1])
+
+
+def _block(statements):
+    return "\n".join("    " + s for s in statements)
+
+
+_program_body = st.recursive(
+    st.lists(_stmt, min_size=1, max_size=4).map(_block),
+    lambda inner: st.tuples(
+        st.integers(0, 3), inner, inner
+    ).map(
+        lambda t: "    if (c%d) {\n%s\n    } else {\n%s\n    }"
+        % (t[0], _indent(t[1]), _indent(t[2]))
+    ),
+    max_leaves=6,
+)
+
+
+def _indent(text):
+    return "\n".join("    " + line for line in text.splitlines())
+
+
+def _make_program(body):
+    params = ", ".join("int *%s" % p for p in _POINTERS)
+    conds = ", ".join("int c%d" % i for i in range(4))
+    return (
+        "int sink;\n"
+        "int f(%s, %s) {\n%s\n    return 0;\n}\n" % (params, conds, body)
+    )
+
+
+def _report_set(result):
+    return {
+        (r.message, r.location.line, r.location.column) for r in result.reports
+    }
+
+
+class TestCachingIsPureOptimization:
+    """The §5 determinism argument: caching only skips work that would
+    repeat.  That claim is exact when the extension state is the whole
+    path state -- i.e. with false-path pruning off.  (With pruning on, the
+    cache deliberately ignores value constraints, one of the §7
+    unsoundnesses; TestDocumentedCachePruningUnsoundness pins it down.)"""
+
+    OPTS = dict(false_path_pruning=False)
+
+    @given(_program_body)
+    @settings(max_examples=60, deadline=None)
+    def test_same_reports_with_and_without_cache(self, body):
+        code = _make_program(body)
+        unit = parse(code, "gen.c")
+        cached = Analysis(
+            [unit], AnalysisOptions(caching=True, **self.OPTS)
+        ).run(free_checker())
+        unit2 = parse(code, "gen.c")
+        uncached = Analysis(
+            [unit2], AnalysisOptions(caching=False, **self.OPTS)
+        ).run(free_checker())
+        assert _report_set(cached) == _report_set(uncached)
+
+    @given(_program_body)
+    @settings(max_examples=40, deadline=None)
+    def test_cache_never_does_more_work(self, body):
+        code = _make_program(body)
+        unit = parse(code, "gen.c")
+        cached = Analysis(
+            [unit], AnalysisOptions(caching=True, **self.OPTS)
+        ).run(free_checker())
+        unit2 = parse(code, "gen.c")
+        uncached = Analysis(
+            [unit2], AnalysisOptions(caching=False, **self.OPTS)
+        ).run(free_checker())
+        assert (
+            cached.stats["points_visited"] <= uncached.stats["points_visited"]
+        )
+
+
+class TestDocumentedCachePruningUnsoundness:
+    """With pruning ON, the block cache keys only extension tuples -- not
+    value constraints -- so a path that would be pruned differently can be
+    aborted by a cache hit (§5.2 semantics; a §7-style approximation).
+    This pins the behaviour so a change to it is noticed."""
+
+    CODE = (
+        "int sink;\n"
+        "int callee(int *p0, int c0) {\n"
+        "    if (c0)\n"
+        "        kfree(p0);\n"
+        "    else {\n"
+        "        kfree(p0);\n"
+        "        kfree(p0);\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n"
+        "int caller(int *p0, int c0) {\n"
+        "    kfree(p0);\n"
+        "    callee(p0, c0);\n"
+        "    if (c0)\n"
+        "        kfree(p0);\n"
+        "    else {\n"
+        "        kfree(p0);\n"
+        "        kfree(p0);\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n"
+    )
+
+    def _reports(self, caching):
+        result = Analysis(
+            [parse(self.CODE, "u.c")],
+            AnalysisOptions(caching=caching, false_path_pruning=True),
+        ).run(free_checker())
+        return _report_set(result)
+
+    def test_uncached_finds_a_superset(self):
+        cached = self._reports(caching=True)
+        uncached = self._reports(caching=False)
+        assert cached <= uncached  # caching may only drop, never invent
+
+
+class TestDeterminism:
+    @given(_program_body)
+    @settings(max_examples=30, deadline=None)
+    def test_repeated_runs_identical(self, body):
+        code = _make_program(body)
+        first = Analysis([parse(code)], AnalysisOptions()).run(free_checker())
+        second = Analysis([parse(code)], AnalysisOptions()).run(free_checker())
+        assert _report_set(first) == _report_set(second)
+
+
+class TestInterproceduralCachingProperty:
+    """Function-summary caching must also be a pure optimization: a random
+    caller/callee pair reports the same errors with caching on and off."""
+
+    @given(_program_body, _program_body)
+    @settings(max_examples=30, deadline=None)
+    def test_interprocedural_cache_equivalence(self, callee_body, caller_body):
+        params = ", ".join("int *%s" % p for p in _POINTERS)
+        conds = ", ".join("int c%d" % i for i in range(4))
+        args = ", ".join(_POINTERS) + ", " + ", ".join("c%d" % i for i in range(4))
+        code = (
+            "int sink;\n"
+            "int callee(%s, %s) {\n%s\n    return 0;\n}\n"
+            "int caller(%s, %s) {\n%s\n    callee(%s);\n%s\n    return 0;\n}\n"
+            % (params, conds, callee_body, params, conds, caller_body, args,
+               callee_body)
+        )
+        cached = Analysis(
+            [parse(code)],
+            AnalysisOptions(caching=True, false_path_pruning=False),
+        ).run(free_checker())
+        uncached = Analysis(
+            [parse(code)],
+            AnalysisOptions(caching=False, false_path_pruning=False),
+        ).run(free_checker())
+        assert _report_set(cached) == _report_set(uncached)
+
+
+class TestLockCheckerProperties:
+    """Generated lock/unlock sequences: the checker's verdict on
+    straight-line code must match a trivial interpreter."""
+
+    @given(st.lists(st.sampled_from(["lock", "unlock"]), min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_straightline_matches_interpreter(self, ops):
+        body = "\n".join("    %s(l);" % op for op in ops)
+        code = "int f(int *l) {\n%s\n    return 0;\n}\n" % body
+        result = Analysis([parse(code)]).run(lock_checker())
+        messages = sorted(r.message for r in result.reports)
+
+        # trivial interpreter over the same SM
+        expected = []
+        held = False
+        for op in ops:
+            if op == "lock":
+                if held:
+                    expected.append("double acquire of lock l!")
+                held = True
+            else:
+                if held:
+                    held = False
+                else:
+                    expected.append("releasing lock l without acquiring it!")
+        if held:
+            expected.append("lock l never released!")
+        # reports are deduplicated per location+message; the interpreter
+        # may predict duplicates -- compare as sets.
+        assert set(messages) == set(expected)

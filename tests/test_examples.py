@@ -1,0 +1,34 @@
+"""The examples must stay runnable: each one is executed as a script."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "script, expected",
+    [
+        ("quickstart.py", "matches the paper's Section 2.2 walkthrough."),
+        ("rule_inference.py", "found the deviant functions"),
+        ("custom_checker.py", "both versions agree"),
+        ("kernel_lock_audit.py", "score: found"),
+        ("toy_kernel_audit.py", "clean audit: every seeded bug found"),
+    ],
+)
+def test_example_runs(script, expected):
+    proc = run_example(script)
+    assert proc.returncode == 0, proc.stderr
+    assert expected in proc.stdout

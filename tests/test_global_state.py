@@ -1,0 +1,126 @@
+"""Global-state machine behaviours: path-specific global transitions,
+direct gstate manipulation from actions, and caching of global states."""
+
+from conftest import messages, run_checker
+
+from repro.metal import Extension
+
+
+def try_disable_checker():
+    """A global SM with a path-specific transition: try_disable() returns
+    1 when it managed to disable interrupts."""
+    ext = Extension("try_disable")
+    ext.transition("enabled", "{ try_disable() }",
+                   true_to="disabled", false_to="enabled")
+    ext.transition("disabled", "{ enable() }", to="enabled")
+    ext.transition(
+        "disabled",
+        "$end_of_path$",
+        to="enabled",
+        action=lambda ctx: ctx.err("path ends with interrupts disabled"),
+    )
+    return ext
+
+
+class TestGlobalPathSplit:
+    def test_true_path_disabled(self):
+        code = (
+            "int f(void) {\n"
+            "    if (try_disable()) {\n"
+            "        return 1;\n"  # disabled at exit!
+            "    }\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, try_disable_checker())
+        assert messages(result) == ["path ends with interrupts disabled"]
+
+    def test_true_path_reenabled(self):
+        code = (
+            "int f(void) {\n"
+            "    if (try_disable()) {\n"
+            "        enable();\n"
+            "        return 1;\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        assert messages(run_checker(code, try_disable_checker())) == []
+
+    def test_negated_condition(self):
+        code = (
+            "int f(void) {\n"
+            "    if (!try_disable())\n"
+            "        return 0;\n"
+            "    enable();\n"
+            "    return 1;\n"
+            "}\n"
+        )
+        assert messages(run_checker(code, try_disable_checker())) == []
+
+    def test_unbranched_call_forks(self):
+        # outcome ignored: both global outcomes must be explored
+        code = "int f(void) { try_disable(); return 0; }"
+        result = run_checker(code, try_disable_checker())
+        assert messages(result) == ["path ends with interrupts disabled"]
+
+
+class TestDirectGlobalManipulation:
+    def test_action_sets_gstate(self):
+        # §3.2: "Extensions may also update the value of the global
+        # instance directly within an escape to C code."
+        ext = Extension("manual")
+
+        def maybe_escalate(ctx):
+            from repro.metal.callouts import mc_constant_value
+
+            level = mc_constant_value(ctx.binding("e"))
+            if level is not None and level > 2:
+                ctx.set_global_state("alert")
+
+        from repro.metal import ANY_EXPR
+
+        ext.decl("e", ANY_EXPR)
+        ext.transition("start", "{ set_level(e) }", action=maybe_escalate)
+        ext.transition(
+            "alert",
+            "{ risky() }",
+            action=lambda ctx: ctx.err("risky() called at high level"),
+        )
+
+        hot = "int f(void) { set_level(3); risky(); return 0; }"
+        cold = "int f(void) { set_level(1); risky(); return 0; }"
+        assert messages(run_checker(hot, ext)) == ["risky() called at high level"]
+        ext2 = Extension("manual2")  # fresh copy for the second run
+        ext2.decl("e", ANY_EXPR)
+        ext2.transition("start", "{ set_level(e) }", action=maybe_escalate)
+        ext2.transition(
+            "alert", "{ risky() }",
+            action=lambda ctx: ctx.err("risky() called at high level"),
+        )
+        assert messages(run_checker(cold, ext2)) == []
+
+
+class TestGlobalStateCaching:
+    def test_different_gstates_both_explored(self):
+        code = (
+            "int helper(void) { risky(); return 0; }\n"
+            "int root(int c) {\n"
+            "    if (c)\n"
+            "        arm();\n"
+            "    helper();\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        ext = Extension("armed")
+        from repro.metal import ANY_ARGUMENTS
+
+        ext.decl("args", ANY_ARGUMENTS)
+        ext.transition("start", "{ arm() }", to="armed")
+        ext.transition(
+            "armed", "{ risky() }",
+            action=lambda ctx: ctx.err("risky while armed"),
+        )
+        result = run_checker(code, ext)
+        # helper analyzed in both global states; only the armed one errs
+        assert messages(result) == ["risky while armed"]

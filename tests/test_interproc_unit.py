@@ -1,0 +1,210 @@
+"""Unit tests for the refine/restore machinery itself (ArgumentMap, tree
+substitution, exit-state partitioning) -- the integration behaviour is in
+test_interproc.py."""
+
+from repro.cfront import astnodes as ast
+from repro.cfront.parser import parse, parse_expression
+from repro.cfront.unparse import unparse
+from repro.engine.interproc import (
+    ArgumentMap,
+    collect_applicable_edges,
+    partition_exit_states,
+    refine,
+    restore,
+    simplify,
+)
+from repro.engine.state import SMInstance, VarInstance
+from repro.engine.summaries import EdgeSet, make_add_edge, make_transition_edge
+from repro.metal import ANY_POINTER, Extension
+
+
+def make_ext():
+    ext = Extension("t")
+    ext.state_var("v", ANY_POINTER)
+    ext.transition("start", "{ kfree(v) }", to="v.freed")
+    return ext
+
+
+def argmap_for(call_text, callee_decl_text):
+    call = parse_expression(call_text)
+    unit = parse(callee_decl_text)
+    return ArgumentMap(call, unit.decls[0])
+
+
+class TestArgumentMap:
+    def test_plain_mapping(self):
+        amap = argmap_for("f(a)", "void f(int *xf);")
+        obj = parse_expression("a")
+        assert unparse(amap.to_callee(obj)) == "xf"
+        back = amap.to_caller(parse_expression("xf"))
+        assert unparse(back) == "a"
+
+    def test_subtree_mapping(self):
+        amap = argmap_for("f(a)", "void f(int *xf);")
+        obj = parse_expression("a->field")
+        assert unparse(amap.to_callee(obj)) == "xf->field"
+        assert unparse(amap.to_caller(parse_expression("xf->next->d"))) == "a->next->d"
+
+    def test_addrof_mapping(self):
+        amap = argmap_for("f(&a)", "void f(int **xf);")
+        assert unparse(amap.to_callee(parse_expression("a"))) == "*xf"
+        assert unparse(amap.to_caller(parse_expression("*xf"))) == "a"
+
+    def test_addrof_field(self):
+        amap = argmap_for("f(&a)", "void f(int **xf);")
+        mapped = amap.to_callee(parse_expression("a.len"))
+        assert unparse(mapped) == "(*xf).len"
+
+    def test_unrelated_object(self):
+        amap = argmap_for("f(a)", "void f(int *xf);")
+        assert amap.to_callee(parse_expression("b")) is None
+        assert amap.to_caller(parse_expression("other")) is None
+
+    def test_complex_actual(self):
+        amap = argmap_for("f(dev->buf)", "void f(char *xf);")
+        obj = parse_expression("dev->buf")
+        assert unparse(amap.to_callee(obj)) == "xf"
+        assert unparse(amap.to_caller(parse_expression("xf"))) == "dev->buf"
+
+    def test_simplify_star_amp(self):
+        assert unparse(simplify(parse_expression("*(&x)"))) == "x"
+        assert unparse(simplify(parse_expression("&(*p)"))) == "p"
+        assert unparse(simplify(parse_expression("*(&(a[i])) + 1"))) == "a[i] + 1"
+
+
+class TestRefine:
+    def test_globals_pass_unchanged(self):
+        sm = SMInstance(make_ext())
+        sm.add(VarInstance("v", parse_expression("global_ptr"), "freed"))
+        amap = argmap_for("f(x)", "void f(int *xf);")
+        refined, saved = refine(sm, amap, caller_scope_names={"x", "y"})
+        assert len(refined.active_vars) == 1
+        assert unparse(refined.active_vars[0].obj) == "global_ptr"
+        assert saved == []
+
+    def test_locals_saved(self):
+        sm = SMInstance(make_ext())
+        local = sm.add(VarInstance("v", parse_expression("y"), "freed"))
+        amap = argmap_for("f(x)", "void f(int *xf);")
+        refined, saved = refine(sm, amap, caller_scope_names={"x", "y"})
+        assert refined.active_vars == []
+        assert saved == [local]
+
+    def test_arg_retargeted(self):
+        sm = SMInstance(make_ext())
+        sm.add(VarInstance("v", parse_expression("x"), "freed"))
+        amap = argmap_for("f(x)", "void f(int *xf);")
+        refined, saved = refine(sm, amap, caller_scope_names={"x"})
+        assert unparse(refined.active_vars[0].obj) == "xf"
+
+    def test_file_scope_inactivation(self):
+        sm = SMInstance(make_ext())
+        inst = sm.add(VarInstance("v", parse_expression("modvar"), "freed"))
+        inst.file_scope_file = "a.c"
+        amap = argmap_for("f(x)", "void f(int *xf);")
+        refined, __ = refine(sm, amap, caller_scope_names={"x"},
+                             callee_file="b.c")
+        assert refined.active_vars[0].inactive
+
+    def test_file_scope_same_file_stays_active(self):
+        sm = SMInstance(make_ext())
+        inst = sm.add(VarInstance("v", parse_expression("modvar"), "freed"))
+        inst.file_scope_file = "a.c"
+        amap = argmap_for("f(x)", "void f(int *xf);")
+        refined, __ = refine(sm, amap, caller_scope_names={"x"},
+                             callee_file="a.c")
+        assert not refined.active_vars[0].inactive
+
+
+class TestPartitioning:
+    def edges_for(self, *specs):
+        """specs: (obj, start_value, end_value_or_None-for-add)"""
+        edges = EdgeSet()
+        for obj, start_value, end_value in specs:
+            if start_value is None:
+                edges.add(
+                    make_add_edge(
+                        "start", "start",
+                        VarInstance("v", parse_expression(obj), end_value),
+                    )
+                )
+            else:
+                entry = VarInstance("v", parse_expression(obj), start_value)
+                exit_ = entry.copy()
+                exit_.value = end_value
+                edges.add(make_transition_edge("start", entry, "start", exit_))
+        return edges
+
+    def test_single_partition(self):
+        sm = SMInstance(make_ext())
+        p = sm.add(VarInstance("v", parse_expression("p"), "freed"))
+        summary = self.edges_for(("p", "freed", "freed"), ("w", None, "freed"))
+        assignments, adds, globals_, unmatched = collect_applicable_edges(
+            sm, summary
+        )
+        parts = partition_exit_states(sm, assignments, adds, globals_)
+        assert len(parts) == 1
+        objs = sorted(unparse(i.obj) for i in parts[0].active_vars)
+        assert objs == ["p", "w"]
+
+    def test_conflicting_ends_split_partitions(self):
+        # p exits freed on one path and (say) borrowed on another:
+        # disjoint exit states.
+        sm = SMInstance(make_ext())
+        sm.add(VarInstance("v", parse_expression("p"), "freed"))
+        summary = self.edges_for(
+            ("p", "freed", "freed"), ("p", "freed", "borrowed")
+        )
+        assignments, adds, globals_, __ = collect_applicable_edges(sm, summary)
+        parts = partition_exit_states(sm, assignments, adds, globals_)
+        values = sorted(p.active_vars[0].value for p in parts)
+        assert values == ["borrowed", "freed"]
+
+    def test_add_edge_needs_unknown_object(self):
+        # an add edge for an object we already track must not apply.
+        sm = SMInstance(make_ext())
+        sm.add(VarInstance("v", parse_expression("w"), "freed"))
+        summary = self.edges_for(("w", None, "freed"))
+        assignments, adds, globals_, unmatched = collect_applicable_edges(
+            sm, summary
+        )
+        assert adds == []
+        assert unmatched != []  # w has no transition edge here
+
+    def test_duplicate_partitions_merged(self):
+        sm = SMInstance(make_ext())
+        sm.add(VarInstance("v", parse_expression("p"), "freed"))
+        summary = self.edges_for(("p", "freed", "freed"))
+        assignments, adds, globals_, __ = collect_applicable_edges(sm, summary)
+        # duplicating the same edge list should still yield one partition
+        parts = partition_exit_states(sm, assignments + assignments, adds, globals_)
+        assert len(parts) == 1
+
+
+class TestRestore:
+    def test_saved_reattached(self):
+        ext = make_ext()
+        original = SMInstance(ext)
+        saved = [VarInstance("v", parse_expression("loc"), "freed")]
+        part = SMInstance(ext)
+        amap = argmap_for("f(x)", "void f(int *xf);")
+        restored = restore([part], saved, amap, original, callee_local_names=set())
+        assert unparse(restored[0].active_vars[0].obj) == "loc"
+
+    def test_callee_locals_dropped(self):
+        ext = make_ext()
+        original = SMInstance(ext)
+        part = SMInstance(ext)
+        part.add(VarInstance("v", parse_expression("q"), "freed"))
+        amap = argmap_for("f(x)", "void f(int *xf);")
+        restored = restore([part], [], amap, original, callee_local_names={"q"})
+        assert restored[0].active_vars == []
+
+    def test_formal_mapped_back(self):
+        ext = make_ext()
+        original = SMInstance(ext)
+        part = SMInstance(ext)
+        part.add(VarInstance("v", parse_expression("xf->data"), "freed"))
+        amap = argmap_for("f(dev)", "void f(struct s *xf);")
+        restored = restore([part], [], amap, original, callee_local_names=set())
+        assert unparse(restored[0].active_vars[0].obj) == "dev->data"

@@ -1,0 +1,351 @@
+"""Intraprocedural engine tests (Fig. 4): DFS, caching, path splits,
+pending-split resolution, kills-by-default, StopPath."""
+
+from conftest import lines, messages, run_checker
+
+from repro.checkers import free_checker, lock_checker
+from repro.engine.analysis import AnalysisOptions
+from repro.metal import ANY_POINTER, Extension, compile_metal
+
+
+class TestBasicDetection:
+    def test_use_after_free(self):
+        result = run_checker(
+            "int f(int *p) { kfree(p); return *p; }", free_checker()
+        )
+        assert messages(result) == ["using p after free!"]
+
+    def test_double_free(self):
+        result = run_checker(
+            "int f(int *p) { kfree(p); kfree(p); return 0; }", free_checker()
+        )
+        assert messages(result) == ["double free of p!"]
+
+    def test_clean_function(self):
+        result = run_checker(
+            "int f(int *p) { *p = 1; kfree(p); return 0; }", free_checker()
+        )
+        assert messages(result) == []
+
+    def test_free_then_branch_both_paths(self):
+        result = run_checker(
+            "int f(int *p, int c) { kfree(p); if (c) return *p; return 0; }",
+            free_checker(),
+        )
+        assert messages(result) == ["using p after free!"]
+
+    def test_error_on_one_path_only(self):
+        result = run_checker(
+            "int f(int *p, int c) { if (c) kfree(p); return *p; }",
+            free_checker(),
+        )
+        assert messages(result) == ["using p after free!"]
+
+    def test_no_transition_at_creation_statement(self):
+        # §3.1: "this restriction prevents a variable that is freed for the
+        # first time from triggering a double-free error at the same
+        # program point."
+        result = run_checker(
+            "int f(int *p) { kfree(p); return 0; }", free_checker()
+        )
+        assert messages(result) == []
+
+    def test_reinstantiation_after_stop(self):
+        # §2.1: freeing again after stop re-creates the SM.
+        code = (
+            "int f(int *p) { kfree(p); kfree(p); kfree(p); return 0; }"
+        )
+        result = run_checker(code, free_checker())
+        # double free at 2nd kfree; p stopped; 3rd kfree re-creates; path
+        # ends with no further use: exactly one error.
+        assert messages(result) == ["double free of p!"]
+
+    def test_dereference_forms(self):
+        code = "int f(int **p) { kfree(p); return **p; }"
+        result = run_checker(code, free_checker())
+        assert messages(result) == ["using p after free!"]
+
+
+class TestKillsAndRedefinition:
+    def test_assignment_kills_state(self):
+        # Figure 2's "p = 0" kill.
+        result = run_checker(
+            "int f(int *p) { kfree(p); p = 0; return *p; }", free_checker()
+        )
+        assert messages(result) == []
+
+    def test_component_redefinition_kills_expression(self):
+        # §8: "an expression (e.g., a[i]) with attached state is
+        # transitioned to the stop state when a component (e.g., i) is
+        # redefined."
+        result = run_checker(
+            "int f(int **a, int i) { kfree(a[i]); i = i + 1; return *a[i]; }",
+            free_checker(),
+        )
+        assert messages(result) == []
+
+    def test_no_kill_without_redefinition(self):
+        result = run_checker(
+            "int f(int **a, int i) { kfree(a[i]); return *a[i]; }",
+            free_checker(),
+        )
+        assert messages(result) == ["using a[i] after free!"]
+
+    def test_increment_kills(self):
+        result = run_checker(
+            "int f(int **a, int i) { kfree(a[i]); i++; return *a[i]; }",
+            free_checker(),
+        )
+        assert messages(result) == []
+
+    def test_declaration_shadows(self):
+        result = run_checker(
+            "int f(int *p) { kfree(p); { int *p; p = fresh(); return *p; } }",
+            free_checker(),
+        )
+        assert messages(result) == []
+
+    def test_kills_can_be_disabled(self):
+        options = AnalysisOptions(kills=False)
+        result = run_checker(
+            "int f(int *p) { kfree(p); p = 0; return *p; }",
+            free_checker(),
+            options=options,
+        )
+        assert messages(result) == ["using p after free!"]
+
+
+class TestSynonyms:
+    def test_assignment_creates_synonym(self):
+        result = run_checker(
+            "int f(int *p) { int *q; kfree(p); q = p; return *q; }",
+            free_checker(),
+        )
+        assert messages(result) == ["using q after free!"]
+
+    def test_kill_of_original_keeps_synonym(self):
+        # the Figure 2 q = p; p = 0 sequence
+        result = run_checker(
+            "int f(int *p) { int *q; kfree(p); q = p; p = 0; return *q; }",
+            free_checker(),
+        )
+        assert messages(result) == ["using q after free!"]
+
+    def test_synonym_mirrors_stop(self):
+        # after the double-free error on q, p's mirror is stopped too: a
+        # later *p is not re-reported.
+        code = (
+            "int f(int *p) { int *q; kfree(p); q = p; kfree(q);"
+            " return *p; }"
+        )
+        result = run_checker(code, free_checker())
+        assert messages(result) == ["double free of q!"]
+
+    def test_synonyms_can_be_disabled(self):
+        options = AnalysisOptions(synonyms=False)
+        result = run_checker(
+            "int f(int *p) { int *q; kfree(p); q = p; return *q; }",
+            free_checker(),
+            options=options,
+        )
+        assert messages(result) == []
+
+    def test_synonym_chain_recorded(self):
+        result = run_checker(
+            "int f(int *p) { int *q, *r; kfree(p); q = p; r = q; return *r; }",
+            free_checker(),
+        )
+        report = result.reports[0]
+        assert report.synonym_chain == 2
+
+
+class TestCaching:
+    def diamond_code(self, n):
+        body = ["int f(int *p, int n) {", "    kfree(p);"]
+        for i in range(n):
+            body.append("    if (n & %d) n = n + 1; else n = n - 1;" % (1 << i))
+        body.append("    return n;")
+        body.append("}")
+        return "\n".join(body)
+
+    def test_cache_bounds_work(self):
+        cached = run_checker(self.diamond_code(10), free_checker())
+        uncached = run_checker(
+            self.diamond_code(10), free_checker(),
+            options=AnalysisOptions(caching=False),
+        )
+        assert cached.stats["points_visited"] < 300
+        assert uncached.stats["points_visited"] > 10000
+        # same verdicts either way
+        assert len(cached.reports) == len(uncached.reports) == 0
+
+    def test_cache_hit_count(self):
+        result = run_checker(self.diamond_code(6), free_checker())
+        assert result.stats["cache_hits"] > 0
+
+    def test_revisit_in_new_state_is_a_miss(self):
+        # same block reached freed on one path, untracked on the other --
+        # both must be explored.
+        code = (
+            "int f(int *p, int c) {\n"
+            "    if (c)\n"
+            "        kfree(p);\n"
+            "    return *p;\n"
+            "}\n"
+        )
+        result = run_checker(code, free_checker())
+        assert messages(result) == ["using p after free!"]
+
+    def test_loop_terminates(self):
+        code = (
+            "int f(int *p, int n) {\n"
+            "    int i;\n"
+            "    for (i = 0; i < n; i++) {\n"
+            "        kfree(p);\n"
+            "        p = make();\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, free_checker())
+        assert result.stats["points_visited"] < 1000
+
+    def test_independence_linear_scaling(self):
+        # §5.2: work grows linearly, not exponentially, with the number of
+        # tracked instances.
+        def code(k):
+            params = ", ".join("int *p%d" % i for i in range(k))
+            frees = "\n".join("    kfree(p%d);" % i for i in range(k))
+            return (
+                "int f(%s, int n) {\n%s\n"
+                "    if (n) n = n + 1; else n = n - 1;\n"
+                "    if (n & 2) n = n + 2; else n = n - 2;\n"
+                "    return n;\n}" % (params, frees)
+            )
+
+        points = []
+        for k in (2, 4, 8, 16):
+            result = run_checker(code(k), free_checker())
+            points.append(result.stats["points_visited"])
+        # doubling k should roughly double the work, not square it
+        assert points[3] < points[1] * 8
+        assert points[3] > points[1]
+
+
+class TestPathSpecific:
+    def test_trylock_true_false(self):
+        code = (
+            "int f(int *l) {\n"
+            "    if (trylock(l)) {\n"
+            "        unlock(l);\n"
+            "        return 1;\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, lock_checker())
+        assert messages(result) == []
+
+    def test_trylock_held_on_true_path(self):
+        code = (
+            "int f(int *l) {\n"
+            "    if (trylock(l))\n"
+            "        return 1;\n"  # forgot unlock
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, lock_checker())
+        assert messages(result) == ["lock l never released!"]
+
+    def test_negated_trylock(self):
+        # if (!trylock(l)) return 0; -> lock IS held after the if
+        code = (
+            "int f(int *l) {\n"
+            "    if (!trylock(l))\n"
+            "        return 0;\n"
+            "    unlock(l);\n"
+            "    return 1;\n"
+            "}\n"
+        )
+        result = run_checker(code, lock_checker())
+        assert messages(result) == []
+
+    def test_trylock_compared_to_zero(self):
+        code = (
+            "int f(int *l) {\n"
+            "    if (trylock(l) == 0)\n"
+            "        return 0;\n"
+            "    unlock(l);\n"
+            "    return 1;\n"
+            "}\n"
+        )
+        result = run_checker(code, lock_checker())
+        assert messages(result) == []
+
+    def test_split_without_branch_forks_path(self):
+        # result discarded: both outcomes must be explored
+        code = (
+            "int f(int *l) {\n"
+            "    trylock(l);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, lock_checker())
+        # the true outcome holds the lock at path end
+        assert messages(result) == ["lock l never released!"]
+
+
+class TestEndOfPath:
+    def test_root_exit_triggers(self):
+        result = run_checker(
+            "int f(int *l) { lock(l); return 0; }", lock_checker()
+        )
+        assert messages(result) == ["lock l never released!"]
+
+    def test_local_leaves_scope(self):
+        code = (
+            "int helper(void) { int lk; lock(&lk); return 0; }\n"
+            "int root(void) { helper(); return 0; }\n"
+        )
+        result = run_checker(code, lock_checker())
+        assert messages(result) == ["lock &lk never released!"]
+
+    def test_param_lock_propagates_to_caller(self):
+        code = (
+            "int helper(int *l) { lock(l); return 0; }\n"
+            "int root(int *l) { helper(l); unlock(l); return 0; }\n"
+        )
+        result = run_checker(code, lock_checker())
+        assert messages(result) == []
+
+
+class TestStopPath:
+    def test_stop_path_suppresses_rest(self):
+        ext = Extension("killer")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ kfree(v) }", to="v.freed")
+        ext.transition("v.freed", "{ panic() }", action=lambda ctx: ctx.stop_path())
+        ext.transition(
+            "v.freed", "{ *v }", to="v.stop",
+            action=lambda ctx: ctx.err("use after free"),
+        )
+        code = "int f(int *p) { kfree(p); panic(); return *p; }"
+        result = run_checker(code, ext)
+        assert messages(result) == []
+
+    def test_other_paths_survive(self):
+        ext = Extension("killer")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ kfree(v) }", to="v.freed")
+        ext.transition("v.freed", "{ panic() }", action=lambda ctx: ctx.stop_path())
+        ext.transition(
+            "v.freed", "{ *v }", to="v.stop",
+            action=lambda ctx: ctx.err("use after free"),
+        )
+        code = (
+            "int f(int *p, int c) { kfree(p);"
+            " if (c) { panic(); }"
+            " return *p; }"
+        )
+        result = run_checker(code, ext)
+        assert messages(result) == ["use after free"]

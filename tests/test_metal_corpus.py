@@ -1,0 +1,91 @@
+"""The shipped .metal checker corpus must compile and work."""
+
+import glob
+import os
+
+import pytest
+
+from conftest import messages, run_checker
+from repro.metal import compile_metal
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "src", "repro", "checkers", "metal"
+)
+
+
+def corpus_files():
+    return sorted(glob.glob(os.path.join(CORPUS_DIR, "*.metal")))
+
+
+def load(name):
+    with open(os.path.join(CORPUS_DIR, name)) as handle:
+        return compile_metal(handle.read(), name)
+
+
+class TestCorpusCompiles:
+    def test_corpus_nonempty(self):
+        assert len(corpus_files()) >= 4
+
+    @pytest.mark.parametrize(
+        "path", [os.path.basename(p) for p in corpus_files()]
+    )
+    def test_compiles(self, path):
+        ext = load(path)
+        assert ext.transitions
+
+
+class TestCorpusBehaviour:
+    def test_free_metal(self):
+        result = run_checker(
+            "int f(int *p) { kfree(p); return *p; }", load("free.metal")
+        )
+        assert messages(result) == ["using p after free!"]
+
+    def test_lock_metal(self):
+        result = run_checker(
+            "int f(int *l) { lock(l); return 0; }", load("lock.metal")
+        )
+        assert messages(result) == ["lock l never released!"]
+
+    def test_gets_metal(self):
+        result = run_checker(
+            "int f(char *b) { gets(b); fgets(b); return 0; }",
+            load("gets.metal"),
+        )
+        assert messages(result) == ["call to gets() is never safe"]
+
+    def test_open_close_metal(self):
+        code = (
+            "int good(int n) { int *f = open_file(n); close_file(f);"
+            " return 0; }\n"
+            "int bad(int n) { int *f = open_file(n); return 0; }\n"
+        )
+        result = run_checker(code, load("open_close.metal"))
+        assert messages(result) == ["f opened but never closed"]
+
+
+class TestCLIDiagnostics:
+    def test_bad_c_file(self, tmp_path, capsys):
+        from repro.driver.cli import main
+
+        src = tmp_path / "broken.c"
+        src.write_text("int f( { return; }")
+        code = main(["--checker", "free", str(src)])
+        assert code == 2
+        assert "xgcc:" in capsys.readouterr().err
+
+    def test_bad_metal_file(self, tmp_path, capsys):
+        from repro.driver.cli import main
+
+        bad = tmp_path / "broken.metal"
+        bad.write_text("sm oops { start: }")
+        src = tmp_path / "ok.c"
+        src.write_text("int f(void) { return 0; }")
+        code = main(["--metal", str(bad), str(src)])
+        assert code == 2
+
+    def test_missing_file(self, tmp_path, capsys):
+        from repro.driver.cli import main
+
+        code = main(["--checker", "free", str(tmp_path / "missing.c")])
+        assert code == 2

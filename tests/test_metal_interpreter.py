@@ -1,0 +1,109 @@
+"""Negative-path tests for the metal action/callout interpreter."""
+
+import pytest
+
+from repro.cfront.parser import parse_expression
+from repro.metal import compile_metal
+from repro.metal.language import MetalError, compile_action, compile_callout
+from repro.metal.patterns import MatchContext
+
+
+class FakeCtx:
+    def __init__(self, **bindings):
+        self.bindings = {k: parse_expression(v) for k, v in bindings.items()}
+        self.globals = {}
+        self.errors = []
+        self.engine = None
+        self.point = None
+        self.end_of_path = False
+
+    def err(self, fmt, *args):
+        self.errors.append(fmt % args if args else fmt)
+
+
+class TestActionInterpreter:
+    def test_unknown_identifier(self):
+        action = compile_action('err("x", mystery_fn(v));', {"v": None})
+        ctx = FakeCtx(v="p")
+        with pytest.raises(MetalError):
+            action(ctx)
+
+    def test_arithmetic_and_comparison(self):
+        action = compile_action(
+            'if (mc_num_args(c) > 1 + 1) err("many"); else err("few");',
+            {"c": None},
+        )
+        ctx = FakeCtx(c="f(1, 2, 3)")
+        action(ctx)
+        assert ctx.errors == ["many"]
+        ctx = FakeCtx(c="f(1)")
+        action(ctx)
+        assert ctx.errors == ["few"]
+
+    def test_logical_short_circuit(self):
+        # the right operand would raise if evaluated
+        action = compile_action(
+            'if (0 && boom()) err("no"); else err("yes");', {}
+        )
+        ctx = FakeCtx()
+        action(ctx)
+        assert ctx.errors == ["yes"]
+
+    def test_ternary(self):
+        action = compile_action(
+            'err("%s", mc_is_constant(e) ? "const" : "dyn");', {"e": None}
+        )
+        ctx = FakeCtx(e="42")
+        action(ctx)
+        assert ctx.errors == ["const"]
+
+    def test_return_stops_block(self):
+        action = compile_action('if (1) return; err("unreached");', {})
+        ctx = FakeCtx()
+        action(ctx)
+        assert ctx.errors == []
+
+    def test_global_assignment_and_readback(self):
+        action = compile_action("total = total + 2;", {})
+        ctx = FakeCtx()
+        ctx.globals["total"] = 1
+        action(ctx)
+        assert ctx.globals["total"] == 3
+
+
+class TestCalloutInterpreter:
+    def test_unbound_hole_is_no_match(self):
+        callout = compile_callout("mc_is_call_to(fn, \"gets\")", {"fn": None})
+        point = parse_expression("gets(b)")
+        # fn unbound: callout swallows the error and does not match
+        assert not callout.match(point, {}, MatchContext(point))
+
+    def test_degenerate_values(self):
+        yes = compile_callout("1", {})
+        no = compile_callout("0", {})
+        point = parse_expression("anything()")
+        assert yes.match(point, {}, MatchContext(point))
+        assert not no.match(point, {}, MatchContext(point))
+
+    def test_callout_sees_bindings(self):
+        callout = compile_callout("mc_num_args(c) == 2", {"c": None})
+        point = parse_expression("f(1, 2)")
+        bindings = {"c": point}
+        assert callout.match(point, bindings, MatchContext(point, bindings))
+
+
+class TestCompileErrors:
+    def test_unsupported_statement(self):
+        # while loops are not part of the action fragment language
+        ext_text = (
+            "sm x { start: { f() } , { while (1) err(\"spin\"); } ; }"
+        )
+        ext = compile_metal(ext_text)
+        with pytest.raises(MetalError):
+            ext.transitions[0].action(FakeCtx())
+
+    def test_err_with_no_args(self):
+        action = compile_action('err("plain message");', {})
+        ctx = FakeCtx()
+        action(ctx)
+        assert ctx.errors == ["plain message"]

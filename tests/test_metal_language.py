@@ -1,0 +1,201 @@
+"""Tests for the textual metal DSL compiler (Figures 1 and 3)."""
+
+import pytest
+
+from repro.cfront.parser import parse_expression
+from repro.checkers import FREE_CHECKER_SOURCE, LOCK_CHECKER_SOURCE
+from repro.metal import GLOBAL, PathSplit, compile_metal
+from repro.metal.language import MetalError
+from repro.metal.patterns import EndOfPath, match
+from repro.metal.sm import StateRef
+
+
+class TestFigure1:
+    def test_compiles(self):
+        ext = compile_metal(FREE_CHECKER_SOURCE)
+        assert ext.name == "free_checker"
+        assert ext.specific_var[0] == "v"
+        assert ext.global_states == ["start"]
+        assert ext.specific_states == ["freed"]
+
+    def test_transitions(self):
+        ext = compile_metal(FREE_CHECKER_SOURCE)
+        assert len(ext.transitions) == 3
+        start_rules = ext.global_transitions("start")
+        assert len(start_rules) == 1
+        assert start_rules[0].creates_instance
+        freed_rules = ext.specific_transitions("freed")
+        assert len(freed_rules) == 2
+        assert all(r.target.value == "stop" for r in freed_rules)
+
+    def test_size_claim(self):
+        # §1: "extensions are small -- usually between 10 and 200 lines"
+        n_lines = len([l for l in FREE_CHECKER_SOURCE.splitlines() if l.strip()])
+        assert 5 <= n_lines <= 200
+
+
+class TestFigure3:
+    def test_compiles(self):
+        ext = compile_metal(LOCK_CHECKER_SOURCE)
+        assert ext.name == "lock_checker"
+        assert ext.uses_end_of_path()
+
+    def test_path_specific_transition(self):
+        ext = compile_metal(LOCK_CHECKER_SOURCE)
+        trylock_rule = ext.global_transitions("start")[0]
+        assert isinstance(trylock_rule.target, PathSplit)
+        assert trylock_rule.target.true_state.value == "locked"
+        assert trylock_rule.target.false_state.value == "stop"
+
+    def test_end_of_path_rule(self):
+        ext = compile_metal(LOCK_CHECKER_SOURCE)
+        eop = [
+            r
+            for r in ext.specific_transitions("locked")
+            if isinstance(r.pattern, EndOfPath)
+        ]
+        assert len(eop) == 1
+
+
+class TestDeclSyntax:
+    def test_spaced_metatype(self):
+        ext = compile_metal(
+            "sm x { state decl any pointer v; start: { f(v) } ==> v.s ; }"
+        )
+        assert ext.specific_var[1].name == "any_pointer"
+
+    def test_concrete_type_decl(self):
+        ext = compile_metal(
+            "sm x { state decl int v; start: { f(v) } ==> v.s ; }"
+        )
+        assert ext.specific_var[1].name == "int"
+
+    def test_plain_decl_hole(self):
+        ext = compile_metal(
+            "sm x { decl any_fn_call fn; decl any_arguments args;"
+            " start: { fn(args) } ==> start ; }"
+        )
+        assert set(ext.extra_holes()) == {"fn", "args"}
+
+    def test_multiple_state_vars_allowed(self):
+        # §3.1: "the actual implementation of metal allows the extension to
+        # define tuples with additional components."
+        ext = compile_metal(
+            "sm x { state decl any_pointer v; state decl any_pointer w;"
+            " start: { f(v) } ==> v.s | { g(w) } ==> w.t ; }"
+        )
+        assert set(ext.specific_vars) == {"v", "w"}
+
+    def test_duplicate_state_var_rejected(self):
+        with pytest.raises(ValueError):
+            compile_metal(
+                "sm x { state decl any_pointer v; state decl any_pointer v;"
+                " start: { f(v) } ==> v.s ; }"
+            )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(MetalError):
+            compile_metal("sm x { state decl any nonsense v; start: {f(v)} ==> v.s; }")
+
+
+class TestRuleSyntax:
+    def test_alternatives(self):
+        ext = compile_metal(
+            "sm x { state decl any_pointer v;"
+            " start: { a(v) } ==> v.s | { b(v) } ==> v.s ; }"
+        )
+        assert len(ext.global_transitions("start")) == 2
+
+    def test_action_only_rule(self):
+        ext = compile_metal(
+            'sm x { start: { f() } , { err("saw f"); } ; }'
+        )
+        rule = ext.global_transitions("start")[0]
+        assert rule.target is None
+        assert rule.action is not None
+
+    def test_or_pattern(self):
+        ext = compile_metal(
+            "sm x { state decl any_pointer v;"
+            " start: { kfree(v) } || { vfree(v) } ==> v.s ; }"
+        )
+        rule = ext.transitions[0]
+        assert match(rule.pattern, parse_expression("vfree(p)")) is not None
+
+    def test_callout_conjunct(self):
+        ext = compile_metal(
+            "sm x { decl any_fn_call fn; decl any_arguments args;\n"
+            ' start: { fn(args) } && ${ mc_is_call_to(fn, "gets") } ,\n'
+            '   { err("gets!"); } ; }'
+        )
+        rule = ext.transitions[0]
+        assert match(rule.pattern, parse_expression("gets(b)")) is not None
+        assert match(rule.pattern, parse_expression("fgets(b)")) is None
+
+    def test_end_of_path_spelled_out(self):
+        ext = compile_metal(
+            "sm x { state decl any_pointer v;"
+            " start: { f(v) } ==> v.s ;"
+            " v.s: $end of path$ ==> v.stop ; }"
+        )
+        assert ext.uses_end_of_path()
+
+    def test_global_state_machine(self):
+        ext = compile_metal(
+            "sm intr { enabled: { cli() } ==> disabled ;"
+            " disabled: { sti() } ==> enabled ; }"
+        )
+        assert ext.initial_global == "enabled"
+        assert ext.specific_var is None
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(MetalError):
+            compile_metal("sm x { start: { f() } ==> start ")
+
+
+class TestActions:
+    def make_ctx(self, **bindings):
+        class Ctx:
+            def __init__(self):
+                self.errors = []
+                self.bindings = {
+                    name: parse_expression(text) for name, text in bindings.items()
+                }
+                self.globals = {}
+
+            def err(self, fmt, *args):
+                self.errors.append(fmt % args if args else fmt)
+
+        return Ctx()
+
+    def test_err_formatting(self):
+        ext = compile_metal(
+            "sm x { state decl any_pointer v;\n"
+            ' start: { kfree(v) } ==> v.s, { err("freed %s!", mc_identifier(v)); } ; }'
+        )
+        ctx = self.make_ctx(v="dev->ptr")
+        ext.transitions[0].action(ctx)
+        assert ctx.errors == ["freed dev->ptr!"]
+
+    def test_action_conditionals(self):
+        ext = compile_metal(
+            "sm x { decl any_expr e;\n"
+            " start: { f(e) } ,\n"
+            '  { if (mc_is_constant(e)) err("constant"); else err("dynamic"); } ; }'
+        )
+        ctx = self.make_ctx(e="5")
+        ext.transitions[0].action(ctx)
+        assert ctx.errors == ["constant"]
+        ctx = self.make_ctx(e="x + 1")
+        ext.transitions[0].action(ctx)
+        assert ctx.errors == ["dynamic"]
+
+    def test_action_user_globals(self):
+        ext = compile_metal(
+            "sm x { start: { f() } , { count = count + 1; } ; }"
+        )
+        ctx = self.make_ctx()
+        ctx.globals["count"] = 0
+        ext.transitions[0].action(ctx)
+        ext.transitions[0].action(ctx)
+        assert ctx.globals["count"] == 2

@@ -1,0 +1,113 @@
+"""Statistical rule inference tests (§3.2, §9, after [10])."""
+
+from conftest import messages, run_checker
+
+from repro.cfront.parser import parse
+from repro.cfg import CallGraph
+from repro.checkers import infer_pairs, make_pair_checker
+
+
+def callgraph(code):
+    return CallGraph.from_units([parse(code)])
+
+
+class TestInference:
+    MOSTLY_PAIRED = "\n".join(
+        "int f%d(int *l) { my_open(l); work(%d); my_close(l); return 0; }"
+        % (i, i)
+        for i in range(8)
+    ) + "\nint f_bad(int *l) { my_open(l); work(9); return 0; }\n"
+
+    def test_pair_discovered(self):
+        pairs = infer_pairs(callgraph(self.MOSTLY_PAIRED))
+        best = {(p.first, p.second): p for p in pairs}
+        assert ("my_open", "my_close") in best
+        pair = best[("my_open", "my_close")]
+        assert pair.examples == 8
+        assert pair.counterexamples == 1
+
+    def test_z_ordering(self):
+        pairs = infer_pairs(callgraph(self.MOSTLY_PAIRED))
+        scores = [p.z_score for p in pairs]
+        assert scores == sorted(scores, reverse=True)
+        # the violated-once rule still scores clearly positive
+        best = {(p.first, p.second): p for p in pairs}
+        assert best[("my_open", "my_close")].z_score > 1.5
+
+    def test_candidates_filter(self):
+        pairs = infer_pairs(
+            callgraph(self.MOSTLY_PAIRED), candidates={"my_open"}
+        )
+        assert all(p.first == "my_open" for p in pairs)
+
+    def test_min_examples(self):
+        code = "int f(int *l) { rare_a(l); rare_b(l); return 0; }"
+        pairs = infer_pairs(callgraph(code), min_examples=2)
+        assert pairs == []
+
+    def test_branching_traces(self):
+        # b follows a only on one branch: one example, one counterexample.
+        code = (
+            "int f(int *l, int c) {\n"
+            "    aa(l);\n"
+            "    if (c)\n"
+            "        bb(l);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        pairs = infer_pairs(callgraph(code), min_examples=1)
+        pair = next(p for p in pairs if (p.first, p.second) == ("aa", "bb"))
+        assert pair.examples == 1
+        assert pair.counterexamples == 1
+
+    def test_unpaired_noise_scores_low(self):
+        pairs = infer_pairs(callgraph(self.MOSTLY_PAIRED), min_examples=1)
+        by_key = {(p.first, p.second): p for p in pairs}
+        # work() is followed by my_close 8 of 9 times, but my_close is
+        # never followed by anything: no (my_close, *) pair survives.
+        assert not any(first == "my_close" for first, __ in by_key)
+
+
+class TestPairChecker:
+    def test_violation_reported(self):
+        code = (
+            "int good(int *l) { my_open(l); my_close(l); return 0; }\n"
+            "int bad(int *l) { my_open(l); return 0; }\n"
+        )
+        result = run_checker(code, make_pair_checker("my_open", "my_close"))
+        assert len(result.reports) == 1
+        assert result.reports[0].function == "bad"
+
+    def test_example_counting(self):
+        code = (
+            "int good(int *l) { my_open(l); my_close(l); return 0; }\n"
+            "int good2(int *l) { my_open(l); work(); my_close(l); return 0; }\n"
+            "int bad(int *l) { my_open(l); return 0; }\n"
+        )
+        result = run_checker(code, make_pair_checker("my_open", "my_close"))
+        examples, violations = result.log.rule_counts("my_open/my_close")
+        assert examples == 2
+        assert violations == 1
+
+    def test_inference_to_checking_pipeline(self):
+        # End to end: infer the rule, build the checker from the top pair,
+        # find the deviant function.
+        code = TestInference.MOSTLY_PAIRED
+        pairs = infer_pairs(callgraph(code))
+        top = next(p for p in pairs if p.second == "my_close")
+        checker = make_pair_checker(top.first, top.second)
+        result = run_checker(code, checker)
+        assert [r.function for r in result.reports] == ["f_bad"]
+
+    def test_branch_scoped_violation(self):
+        code = (
+            "int f(int *l, int c) {\n"
+            "    my_open(l);\n"
+            "    if (c)\n"
+            "        return -1;\n"  # violation path
+            "    my_close(l);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = run_checker(code, make_pair_checker("my_open", "my_close"))
+        assert len(result.reports) == 1

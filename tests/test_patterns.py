@@ -1,0 +1,173 @@
+"""Metal pattern matching tests (§4, Table 1)."""
+
+from repro.cfront import types as ctypes
+from repro.cfront.parser import parse, parse_expression, parse_statement
+from repro.cfg.blocks import ReturnMarker
+from repro.metal import (
+    ANY_ARGUMENTS,
+    ANY_EXPR,
+    ANY_FN_CALL,
+    ANY_POINTER,
+    ANY_SCALAR,
+)
+from repro.metal.metatypes import ConcreteType, metatype_by_name
+from repro.metal.patterns import (
+    Callout,
+    EndOfPath,
+    MATCH_EVERYTHING,
+    MATCH_NOTHING,
+    MatchContext,
+    compile_pattern,
+    match,
+)
+
+
+def expr(text, scope=None):
+    return parse_expression(text, scope=scope)
+
+
+def pat(text, **holes):
+    return compile_pattern(text, holes)
+
+
+class TestLiteralPatterns:
+    def test_exact_call(self):
+        assert match(pat("rand()"), expr("rand()")) == {}
+        assert match(pat("rand()"), expr("srand()")) is None
+
+    def test_spacing_irrelevant(self):
+        assert match(pat("f ( 1 , 2 )"), expr("f(1,2)")) is not None
+
+    def test_arity_matters(self):
+        assert match(pat("f(1)"), expr("f(1, 2)")) is None
+
+    def test_constant_values(self):
+        assert match(pat("f(0)"), expr("f(0)")) is not None
+        assert match(pat("f(0)"), expr("f(1)")) is None
+
+    def test_binary_op(self):
+        assert match(pat("a + b"), expr("a + b")) is not None
+        assert match(pat("a + b"), expr("a - b")) is None
+
+
+class TestHoles:
+    def test_hole_binds(self):
+        bindings = match(pat("kfree(v)", v=ANY_POINTER), expr("kfree(p)"))
+        assert bindings["v"].name == "p"
+
+    def test_hole_matches_compound_expr(self):
+        bindings = match(
+            pat("kfree(v)", v=ANY_POINTER), expr("kfree(dev->ptr)")
+        )
+        assert bindings is not None
+
+    def test_deref_pattern(self):
+        assert match(pat("*v", v=ANY_POINTER), expr("*q")) is not None
+        assert match(pat("*v", v=ANY_POINTER), expr("q")) is None
+
+    def test_repeated_hole_must_be_equal(self):
+        # §4: {foo(x,x)} matches foo(0,0) and foo(a[i],a[i]) but not foo(0,1)
+        pattern = pat("foo(x, x)", x=ANY_EXPR)
+        assert match(pattern, expr("foo(0, 0)")) is not None
+        assert match(pattern, expr("foo(a[i], a[i])")) is not None
+        assert match(pattern, expr("foo(0, 1)")) is None
+
+    def test_assignment_pattern(self):
+        pattern = pat("v = kmalloc(args)", v=ANY_POINTER, args=ANY_ARGUMENTS)
+        bindings = match(pattern, expr("p = kmalloc(64)"))
+        assert bindings["v"].name == "p"
+        assert len(bindings["args"]) == 1
+
+    def test_statement_pattern_return(self):
+        pattern = pat("return v;", v=ANY_EXPR)
+        marker = ReturnMarker(expr("x + 1"), None)
+        assert match(pattern, marker) is not None
+        empty = ReturnMarker(None, None)
+        assert match(pattern, empty) is None
+
+
+class TestMetaTypes:
+    def test_any_pointer_rejects_int(self):
+        scope = {"n": ctypes.INT, "p": ctypes.PointerType(ctypes.INT)}
+        pattern = pat("kfree(v)", v=ANY_POINTER)
+        assert match(pattern, expr("kfree(p)", scope)) is not None
+        assert match(pattern, expr("kfree(n)", scope)) is None
+
+    def test_any_pointer_accepts_unknown(self):
+        # best-effort typing: unknown identifiers match (documented leniency)
+        assert match(pat("kfree(v)", v=ANY_POINTER), expr("kfree(mystery)"))is not None
+
+    def test_any_pointer_accepts_array(self):
+        scope = {"buf": ctypes.ArrayType(ctypes.CHAR, None)}
+        assert match(pat("kfree(v)", v=ANY_POINTER), expr("kfree(buf)", scope)) is not None
+
+    def test_any_scalar(self):
+        scope = {"n": ctypes.INT, "s": ctypes.RecordType("struct", "s")}
+        pattern = pat("take(v)", v=ANY_SCALAR)
+        assert match(pattern, expr("take(n)", scope)) is not None
+        assert match(pattern, expr("take(s)", scope)) is None
+
+    def test_concrete_type_hole(self):
+        scope = {"n": ctypes.INT, "c": ctypes.CHAR}
+        pattern = pat("take(v)", v=ConcreteType(ctypes.INT))
+        assert match(pattern, expr("take(n)", scope)) is not None
+        assert match(pattern, expr("take(c)", scope)) is None
+
+    def test_any_fn_call_in_callee_position(self):
+        pattern = pat("fn(args)", fn=ANY_FN_CALL, args=ANY_ARGUMENTS)
+        bindings = match(pattern, expr("gets(buf)"))
+        assert bindings["fn"].name == "gets"
+        assert [a.name for a in bindings["args"]] == ["buf"]
+
+    def test_any_arguments_empty_list(self):
+        pattern = pat("fn(args)", fn=ANY_FN_CALL, args=ANY_ARGUMENTS)
+        bindings = match(pattern, expr("f()"))
+        assert bindings["args"] == []
+
+    def test_metatype_by_name(self):
+        assert metatype_by_name("any pointer") is ANY_POINTER
+        assert metatype_by_name("any_expr") is ANY_EXPR
+        assert metatype_by_name("nonsense") is None
+
+
+class TestComposition:
+    def test_and(self):
+        base = pat("fn(args)", fn=ANY_FN_CALL, args=ANY_ARGUMENTS)
+        refine = Callout(
+            lambda ctx: getattr(ctx.bindings.get("fn"), "name", "") == "gets",
+            "is gets",
+        )
+        pattern = base & refine
+        assert match(pattern, expr("gets(b)")) is not None
+        assert match(pattern, expr("puts(b)")) is None
+
+    def test_or(self):
+        pattern = pat("kfree(v)", v=ANY_POINTER) | pat("vfree(v)", v=ANY_POINTER)
+        assert match(pattern, expr("kfree(p)")) is not None
+        assert match(pattern, expr("vfree(p)")) is not None
+        assert match(pattern, expr("ifree(p)")) is None
+
+    def test_or_no_binding_leak(self):
+        pattern = pat("f(v, 1)", v=ANY_EXPR) | pat("g(w)", w=ANY_EXPR)
+        bindings = match(pattern, expr("g(x)"))
+        assert "v" not in bindings
+        assert bindings["w"].name == "x"
+
+    def test_degenerate_callouts(self):
+        # §4: ${0} and ${1} match nothing and everything respectively
+        anything = expr("whatever(1)")
+        assert match(MATCH_NOTHING, anything) is None
+        assert match(MATCH_EVERYTHING, anything) == {}
+
+    def test_end_of_path(self):
+        pattern = EndOfPath()
+        point = expr("x")
+        assert match(pattern, point, MatchContext(point, end_of_path=True)) is not None
+        assert match(pattern, point, MatchContext(point, end_of_path=False)) is None
+
+    def test_failed_and_leaves_bindings(self):
+        pattern = pat("f(v)", v=ANY_EXPR) & Callout(lambda c: False, "never")
+        bindings = {}
+        ctx = MatchContext(expr("f(x)"), bindings)
+        assert not pattern.match(expr("f(x)"), bindings, ctx)
+        assert bindings == {}

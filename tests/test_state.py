@@ -1,0 +1,99 @@
+"""State representation tests (§3.1, §5.1-5.2)."""
+
+from repro.cfront.parser import parse_expression
+from repro.metal import ANY_POINTER, Extension
+from repro.metal.sm import PLACEHOLDER
+from repro.engine.state import SMInstance, VarInstance, describe_tuple, state_tuples
+
+
+def make_ext():
+    ext = Extension("t")
+    ext.state_var("v", ANY_POINTER)
+    ext.transition("start", "{ kfree(v) }", to="v.freed")
+    return ext
+
+
+class TestVarInstance:
+    def test_tuple_key(self):
+        inst = VarInstance("v", parse_expression("p"), "freed")
+        gstate, rest = inst.tuple_key("start")
+        assert gstate == "start"
+        var, __, value, data = rest
+        assert var == "v" and value == "freed" and data is None
+
+    def test_structurally_equal_objects_share_key(self):
+        a = VarInstance("v", parse_expression("d->ptr"), "freed")
+        b = VarInstance("v", parse_expression("d->ptr"), "freed")
+        assert a.tuple_key("s") == b.tuple_key("s")
+        assert a.uid != b.uid
+
+    def test_copy_preserves_uid_and_metadata(self):
+        inst = VarInstance("v", parse_expression("p"), "freed", {"k": 1})
+        inst.conditionals_crossed = 3
+        clone = inst.copy()
+        assert clone.uid == inst.uid
+        assert clone.conditionals_crossed == 3
+        clone.data["k"] = 2
+        assert inst.data["k"] == 1  # deep-enough copy
+
+    def test_data_key_in_tuple(self):
+        a = VarInstance("v", parse_expression("p"), "held", {"depth": 1})
+        b = VarInstance("v", parse_expression("p"), "held", {"depth": 2})
+        assert a.tuple_key("s") != b.tuple_key("s")
+
+    def test_retarget(self):
+        inst = VarInstance("v", parse_expression("p"), "freed")
+        inst.retarget(parse_expression("q"))
+        assert inst.obj.name == "q"
+        assert inst.obj_key != VarInstance("v", parse_expression("p"), "x").obj_key
+
+
+class TestSMInstance:
+    def test_initial_state_is_placeholder(self):
+        # §5.2: initial state of the free checker is {(start, <>)}
+        sm = SMInstance(make_ext())
+        assert state_tuples(sm) == {("start", PLACEHOLDER)}
+
+    def test_tuples_after_instance(self):
+        sm = SMInstance(make_ext())
+        sm.add(VarInstance("v", parse_expression("p"), "freed"))
+        tuples = state_tuples(sm)
+        assert len(tuples) == 1
+        assert ("start", PLACEHOLDER) not in tuples  # placeholder ignored
+
+    def test_find_by_structural_key(self):
+        sm = SMInstance(make_ext())
+        inst = sm.add(VarInstance("v", parse_expression("a[i]"), "freed"))
+        from repro.cfront.astnodes import structural_key
+
+        assert sm.find(structural_key(parse_expression("a[i]"))) is inst
+        assert sm.find(structural_key(parse_expression("a[j]"))) is None
+
+    def test_copy_is_deep(self):
+        sm = SMInstance(make_ext())
+        sm.add(VarInstance("v", parse_expression("p"), "freed"))
+        clone = sm.copy()
+        clone.active_vars[0].value = "stop"
+        clone.gstate = "other"
+        assert sm.active_vars[0].value == "freed"
+        assert sm.gstate == "start"
+
+    def test_inactive_excluded_from_tuples(self):
+        sm = SMInstance(make_ext())
+        inst = sm.add(VarInstance("v", parse_expression("p"), "freed"))
+        inst.inactive = True
+        assert state_tuples(sm) == {("start", PLACEHOLDER)}
+
+    def test_path_data_copied(self):
+        sm = SMInstance(make_ext())
+        sm.path_data["k"] = 1
+        clone = sm.copy()
+        clone.path_data["k"] = 2
+        assert sm.path_data["k"] == 1
+
+    def test_describe_tuple(self):
+        sm = SMInstance(make_ext())
+        inst = sm.add(VarInstance("v", parse_expression("p"), "freed"))
+        text = describe_tuple(inst.tuple_key("start"))
+        assert text == "(start,v:p->freed)"
+        assert describe_tuple(("start", PLACEHOLDER)) == "(start,<>)"

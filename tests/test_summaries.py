@@ -1,0 +1,228 @@
+"""Summary machinery tests (§5.2, §6.2, Figure 6)."""
+
+from repro.cfront.parser import parse, parse_expression
+from repro.checkers import free_checker
+from repro.engine.analysis import Analysis
+from repro.engine.state import UNKNOWN, VarInstance
+from repro.engine.summaries import (
+    ADD,
+    TRANSITION,
+    BlockSummary,
+    Edge,
+    EdgeSet,
+    SummaryTable,
+    make_add_edge,
+    make_transition_edge,
+    relax,
+)
+from repro.metal.sm import PLACEHOLDER
+
+
+def inst(obj_text, value, data=None):
+    return VarInstance("v", parse_expression(obj_text), value, data)
+
+
+class TestEdgeConstruction:
+    def test_transition_edge(self):
+        entry = inst("p", "freed")
+        exit_ = entry.copy()
+        edge = make_transition_edge("start", entry, "start", exit_)
+        assert edge.kind == TRANSITION
+        assert edge.start == entry.tuple_key("start")
+        assert edge.describe() == "(start,v:p->freed) --> (start,v:p->freed)"
+
+    def test_stop_edge(self):
+        entry = inst("p", "freed")
+        edge = make_transition_edge("start", entry, "start", None)
+        assert edge.ends_in_stop
+        assert "stop" in edge.describe()
+
+    def test_add_edge_has_unknown_start(self):
+        created = inst("w", "freed")
+        edge = make_add_edge("start", "start", created)
+        assert edge.kind == ADD
+        assert edge.start[1][2] == UNKNOWN
+        assert edge.describe() == "(start,v:w->$unknown) --> (start,v:w->freed)"
+
+    def test_global_edge(self):
+        edge = make_transition_edge("enabled", None, "disabled", None)
+        assert edge.is_global_only
+        assert edge.start == ("enabled", PLACEHOLDER)
+        assert edge.end == ("disabled", PLACEHOLDER)
+
+
+class TestEdgeSet:
+    def test_dedup(self):
+        edges = EdgeSet()
+        a = make_transition_edge("s", inst("p", "freed"), "s", inst("p", "freed"))
+        b = make_transition_edge("s", inst("p", "freed"), "s", inst("p", "freed"))
+        assert edges.add(a)
+        assert not edges.add(b)
+        assert len(edges) == 1
+
+    def test_indexing(self):
+        edges = EdgeSet()
+        edge = make_transition_edge("s", inst("p", "freed"), "s", inst("p", "stop2"))
+        edges.add(edge)
+        assert list(edges.with_start(edge.start)) == [edge]
+        assert list(edges.with_end(edge.end)) == [edge]
+        assert edges.with_start(("nope", PLACEHOLDER)) == ()
+
+
+class TestBlockSummaryCovers:
+    def test_covers_transition_start(self):
+        class FakeBlock:
+            index = 0
+            is_exit = False
+
+        summary = BlockSummary(FakeBlock())
+        entry = inst("p", "freed")
+        summary.edges.add(make_transition_edge("start", entry, "start", entry.copy()))
+        assert summary.covers(entry.tuple_key("start"))
+        assert not summary.covers(inst("q", "freed").tuple_key("start"))
+
+    def test_add_edge_does_not_cover(self):
+        class FakeBlock:
+            index = 0
+            is_exit = False
+
+        summary = BlockSummary(FakeBlock())
+        summary.edges.add(make_add_edge("start", "start", inst("p", "freed")))
+        # an add edge start contains UNKNOWN; never equals a live tuple
+        assert not summary.covers(inst("p", "freed").tuple_key("start"))
+
+
+class _Block:
+    def __init__(self, index, is_exit=False):
+        self.index = index
+        self.is_exit = is_exit
+
+
+class TestRelax:
+    """Direct tests of the Figure 6 walk on a hand-built backtrace."""
+
+    def test_exit_seeds_suffix(self):
+        table = SummaryTable()
+        b_exit = _Block(1, is_exit=True)
+        table.get(b_exit).edges.add(
+            make_transition_edge("s", inst("p", "freed"), "s", inst("p", "freed"))
+        )
+        relax([b_exit], table)
+        assert len(table.get(b_exit).suffix) == 1
+
+    def test_transition_composition(self):
+        table = SummaryTable()
+        b0, b1 = _Block(0), _Block(1, is_exit=True)
+        # b0: p freed -> freed ; b1: p freed -> freed (identity chain)
+        table.get(b0).edges.add(
+            make_transition_edge("s", inst("p", "freed"), "s", inst("p", "freed"))
+        )
+        table.get(b1).edges.add(
+            make_transition_edge("s", inst("p", "freed"), "s", inst("p", "freed"))
+        )
+        relax([b0, b1], table)
+        suffix = list(table.get(b0).suffix)
+        assert any(e.kind == TRANSITION and not e.is_global_only for e in suffix)
+
+    def test_stop_edges_omitted_from_suffix(self):
+        # §6.2: "none of the edges in the suffix summaries end in a tuple
+        # containing the stop state."
+        table = SummaryTable()
+        b_exit = _Block(0, is_exit=True)
+        table.get(b_exit).edges.add(
+            make_transition_edge("s", inst("p", "freed"), "s", None)
+        )
+        relax([b_exit], table)
+        assert len(table.get(b_exit).suffix) == 0
+
+    def test_add_edge_relaxes_through_global_edge(self):
+        # "these special transition edges will match the initial state of
+        # an add edge if the values of the global instance match."
+        table = SummaryTable()
+        b0, b1 = _Block(0), _Block(1, is_exit=True)
+        table.get(b0).edges.add(make_transition_edge("g0", None, "g1", None))
+        table.get(b1).edges.add(make_transition_edge("g1", None, "g1", None))
+        created = inst("w", "freed")
+        table.get(b1).edges.add(make_add_edge("g1", "g1", created))
+        relax([b0, b1], table)
+        suffix_adds = [e for e in table.get(b0).suffix if e.kind == ADD]
+        assert len(suffix_adds) == 1
+        # the start global moved back to b0's entry value
+        assert suffix_adds[0].start[0] == "g0"
+
+    def test_add_then_transition_composes_to_add(self):
+        table = SummaryTable()
+        b0, b1 = _Block(0), _Block(1, is_exit=True)
+        created = inst("w", "freed")
+        table.get(b0).edges.add(make_add_edge("s", "s", created))
+        table.get(b1).edges.add(
+            make_transition_edge("s", inst("w", "freed"), "s", inst("w", "freed"))
+        )
+        relax([b0, b1], table)
+        suffix = [e for e in table.get(b0).suffix if e.kind == ADD]
+        assert len(suffix) == 1
+
+    def test_local_filter(self):
+        table = SummaryTable()
+        b_exit = _Block(0, is_exit=True)
+        table.get(b_exit).edges.add(
+            make_transition_edge("s", inst("q", "freed"), "s", inst("q", "freed"))
+        )
+
+        def filter_q(edge):
+            snapshot = edge.end_snapshot
+            if snapshot is None:
+                return False
+            from repro.cfront.astnodes import identifiers_in
+
+            return "q" in identifiers_in(snapshot.obj)
+
+        relax([b_exit], table, filter_q)
+        assert len(table.get(b_exit).suffix) == 0
+
+
+class TestFigure5Summaries:
+    """End-to-end: run the free checker on Figure 2 and check the summary
+    rows Figure 5 prints."""
+
+    def run(self, fig2_code):
+        from repro.cfront.parser import parse
+
+        unit = parse(fig2_code, "fig2.c")
+        analysis = Analysis([unit])
+        table = analysis.run_one(free_checker())
+        cfg = analysis._cfg("contrived")
+        return analysis, table, cfg
+
+    def test_function_summary_of_contrived(self, fig2_code):
+        analysis, table, cfg = self.run(fig2_code)
+        entry_suffix = table.get(cfg.entry).suffix
+        rows = sorted(e.describe() for e in entry_suffix if not e.is_global_only)
+        # Fig. 5 block 5 suffix summary: p freed -> p freed (transition) and
+        # w unknown -> w freed (add).
+        assert "(start,v:p->freed) --> (start,v:p->freed)" in rows
+        assert "(start,v:w->$unknown) --> (start,v:w->freed)" in rows
+
+    def test_no_q_in_suffix_summaries(self, fig2_code):
+        # Fig. 5 caption: "none of the suffix summaries record any
+        # information about q because q is a local variable."
+        analysis, table, cfg = self.run(fig2_code)
+        for block in cfg.blocks:
+            for edge in table.get(block).suffix:
+                assert "v:q->" not in edge.describe()
+
+    def test_no_stop_in_suffix_summaries(self, fig2_code):
+        analysis, table, cfg = self.run(fig2_code)
+        for block in cfg.blocks:
+            for edge in table.get(block).suffix:
+                assert not edge.ends_in_stop
+
+    def test_block_summaries_do_record_q(self, fig2_code):
+        # Block summaries (unlike suffix summaries) track q: Fig. 5 blocks
+        # 7 and 10 mention q's add and kill.
+        analysis, table, cfg = self.run(fig2_code)
+        texts = []
+        for block in cfg.blocks:
+            texts.extend(e.describe() for e in table.get(block).edges)
+        assert any("v:q->$unknown) --> (start,v:q->freed)" in t for t in texts)
+        assert any("v:q->freed) --> (start,v:q->stop)" in t for t in texts)

@@ -1,0 +1,105 @@
+"""Type representation tests."""
+
+from repro.cfront import types as t
+
+
+class TestBasicTypes:
+    def test_classification(self):
+        assert t.INT.is_scalar() and t.INT.is_arithmetic() and t.INT.is_integer()
+        assert t.FLOAT.is_scalar() and not t.FLOAT.is_integer()
+        assert t.VOID.is_void() and not t.VOID.is_scalar()
+        assert t.BOOL.is_integer()
+
+    def test_equality_structural(self):
+        assert t.BasicType("int") == t.INT
+        assert t.BasicType("long") != t.INT
+        assert hash(t.BasicType("int")) == hash(t.INT)
+
+
+class TestPointers:
+    def test_pointer(self):
+        p = t.PointerType(t.INT)
+        assert p.is_pointer() and p.is_scalar()
+        assert p == t.PointerType(t.INT)
+        assert p != t.PointerType(t.CHAR)
+
+    def test_qualifiers_ignored_in_equality(self):
+        assert t.PointerType(t.INT, ("const",)) == t.PointerType(t.INT)
+
+    def test_nested(self):
+        pp = t.PointerType(t.PointerType(t.CHAR))
+        assert pp.target.is_pointer()
+
+
+class TestArrays:
+    def test_array_not_scalar(self):
+        a = t.ArrayType(t.INT, None)
+        assert not a.is_scalar()
+
+    def test_decay(self):
+        a = t.ArrayType(t.CHAR, None)
+        assert a.decay() == t.PointerType(t.CHAR)
+
+    def test_equality_ignores_size(self):
+        assert t.ArrayType(t.INT, None) == t.ArrayType(t.INT, None)
+
+
+class TestFunctions:
+    def test_function_type(self):
+        fn = t.FunctionType(t.INT, (t.PointerType(t.CHAR),), varargs=True)
+        assert fn.is_function()
+        assert fn == t.FunctionType(t.INT, (t.PointerType(t.CHAR),), True)
+        assert fn != t.FunctionType(t.INT, (), True)
+
+
+class TestRecords:
+    def test_nominal_equality(self):
+        a = t.RecordType("struct", "s", [("x", t.INT)])
+        b = t.RecordType("struct", "s")  # incomplete, same tag
+        assert a == b
+        assert a != t.RecordType("union", "s")
+        assert a != t.RecordType("struct", "other")
+
+    def test_anonymous_identity(self):
+        a = t.RecordType("struct", None)
+        b = t.RecordType("struct", None)
+        assert a == a
+        assert a != b
+
+    def test_field_lookup(self):
+        s = t.RecordType("struct", "s", [("x", t.INT), ("p", t.PointerType(t.CHAR))])
+        assert s.field_type("p") == t.PointerType(t.CHAR)
+        assert s.field_type("missing") is None
+
+
+class TestEnums:
+    def test_enum_is_integer(self):
+        e = t.EnumType("colors", (("RED", 0),))
+        assert e.is_integer() and e.is_scalar()
+
+    def test_nominal(self):
+        assert t.EnumType("a") != t.EnumType("b")
+        assert t.EnumType("a") == t.EnumType("a")
+
+
+class TestTypedefs:
+    def test_resolution(self):
+        size_t = t.TypedefType("size_t", t.UNSIGNED_LONG)
+        assert size_t.resolve() == t.UNSIGNED_LONG
+        assert size_t.is_integer()
+        assert size_t == t.UNSIGNED_LONG
+
+    def test_chained(self):
+        a = t.TypedefType("a_t", t.INT)
+        b = t.TypedefType("b_t", a)
+        assert b.resolve() == t.INT
+
+    def test_pointer_typedef(self):
+        p_t = t.TypedefType("ptr_t", t.PointerType(t.VOID))
+        assert p_t.is_pointer()
+        assert not p_t.is_integer()
+
+    def test_str_forms(self):
+        assert str(t.PointerType(t.INT)) == "int *"
+        assert str(t.RecordType("struct", "dev")) == "struct dev"
+        assert str(t.TypedefType("u32", t.UNSIGNED_INT)) == "u32"

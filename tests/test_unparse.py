@@ -1,0 +1,151 @@
+"""Unparser tests, including parse -> unparse -> parse round trips."""
+
+import pytest
+
+from repro.cfront import astnodes as ast
+from repro.cfront.parser import parse, parse_expression
+from repro.cfront.unparse import unparse
+
+
+def roundtrip_expr(text):
+    first = parse_expression(text)
+    rendered = unparse(first)
+    second = parse_expression(rendered)
+    assert ast.structurally_equal(first, second), (
+        "round trip changed structure: %r -> %r" % (text, rendered)
+    )
+    return rendered
+
+
+class TestExpressionUnparse:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a + b * c",
+            "(a + b) * c",
+            "a = b = c + 1",
+            "a ? b : c",
+            "f(a, b)[3]->x.y",
+            "*p++",
+            "(*p)++",
+            "-x",
+            "- -x",
+            "!~a",
+            "sizeof(int *)",
+            "sizeof x",
+            "(char *)p + 1",
+            "a << 2 | b >> 1",
+            "a && b || c && d",
+            "(a || b) && c",
+            "a % (b / c)",
+            "p->next->next",
+            "a[i][j]",
+            "f(g(h(x)))",
+            "x == 0 ? f() : g()",
+            "&a[0]",
+            "*(p + 1)",
+        ],
+    )
+    def test_roundtrip(self, text):
+        roundtrip_expr(text)
+
+    def test_precedence_parens_added(self):
+        expr = parse_expression("(a + b) * c")
+        assert unparse(expr) == "(a + b) * c"
+
+    def test_no_spurious_parens(self):
+        expr = parse_expression("a + b + c")
+        assert unparse(expr) == "a + b + c"
+
+    def test_string_spelling_preserved(self):
+        expr = parse_expression('"a\\nb"')
+        assert unparse(expr) == '"a\\nb"'
+
+
+class TestDeclarationUnparse:
+    def roundtrip_unit(self, text):
+        first = parse(text)
+        rendered = unparse(first)
+        second = parse(rendered)
+        assert ast.structural_key(first) == ast.structural_key(second)
+        return rendered
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "int x;",
+            "int *p;",
+            "int a[10];",
+            "char *names[4];",
+            "static int counter = 0;",
+            "struct s { int a; struct s *next; };",
+            "int f(int a, char *b) { return a; }",
+            "void g(void) { }",
+            "int max(int a, int b) { if (a > b) return a; return b; }",
+        ],
+    )
+    def test_roundtrip(self, text):
+        self.roundtrip_unit(text)
+
+    def test_function_pointer_declarator(self):
+        rendered = self.roundtrip_unit("int (*handler)(int, char *);")
+        assert "(*handler)" in rendered
+
+    def test_statement_forms(self):
+        text = (
+            "int f(int n) {\n"
+            "    int s = 0;\n"
+            "    for (int i = 0; i < n; i++) {\n"
+            "        switch (i) {\n"
+            "        case 0: s += 1; break;\n"
+            "        default: s -= 1; break;\n"
+            "        }\n"
+            "        while (s > 10) s--;\n"
+            "        do s++; while (s < 0);\n"
+            "    }\n"
+            "    goto out;\n"
+            "out:\n"
+            "    return s;\n"
+            "}\n"
+        )
+        self.roundtrip_unit(text)
+
+
+class TestHypothesisRoundtrip:
+    """Property-based round trips over generated expressions."""
+
+    def test_generated_expressions(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        names = st.sampled_from(["a", "b", "p", "q", "n"])
+        ints = st.integers(min_value=0, max_value=1000)
+
+        def leaves():
+            return st.one_of(
+                names.map(lambda n: n),
+                ints.map(lambda v: str(v)),
+            )
+
+        binops = st.sampled_from(["+", "-", "*", "/", "==", "<", "&&", "||", "&"])
+        unops = st.sampled_from(["-", "!", "~", "*", "&"])
+
+        expr_text = st.recursive(
+            leaves(),
+            lambda inner: st.one_of(
+                st.tuples(inner, binops, inner).map(
+                    lambda t: "(%s %s %s)" % (t[0], t[1], t[2])
+                ),
+                st.tuples(unops, inner).map(lambda t: "%s(%s)" % (t[0], t[1])),
+                st.tuples(names, inner).map(lambda t: "%s(%s)" % (t[0], t[1])),
+                st.tuples(inner, inner).map(lambda t: "%s[%s]" % (t[0], t[1])),
+            ),
+            max_leaves=12,
+        )
+
+        @given(expr_text)
+        @settings(max_examples=150, deadline=None)
+        def check(text):
+            roundtrip_expr(text)
+
+        check()

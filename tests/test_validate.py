@@ -1,0 +1,113 @@
+"""Checker validator tests."""
+
+from repro.checkers import ALL_CHECKERS
+from repro.metal import ANY_POINTER, Extension, compile_metal
+from repro.metal.validate import errors, validate
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class TestCleanCheckers:
+    def test_shipped_checkers_have_no_errors(self):
+        for name, factory in ALL_CHECKERS.items():
+            assert errors(factory()) == [], name
+
+    def test_figure1_clean(self):
+        from repro.checkers import FREE_CHECKER_SOURCE
+
+        assert errors(compile_metal(FREE_CHECKER_SOURCE)) == []
+
+
+class TestUnreachable:
+    def test_unreachable_state(self):
+        ext = Extension("x")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ f(v) }", to="v.a")
+        # v.b is never entered, but defines a rule:
+        ext.transition("v.b", "{ g(v) }", to="v.stop")
+        assert "unreachable-state" in codes(validate(ext))
+
+    def test_dead_end_state(self):
+        ext = Extension("x")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ f(v) }", to="v.parked")
+        assert "dead-end-state" in codes(validate(ext))
+
+    def test_stop_is_not_a_dead_end(self):
+        ext = Extension("x")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ f(v) }", to="v.stop")
+        assert "dead-end-state" not in codes(validate(ext))
+
+
+class TestCreationBinding:
+    def test_unbound_state_variable(self):
+        ext = Extension("x")
+        ext.state_var("v", ANY_POINTER)
+        # pattern mentions no hole at all: the instance can't attach
+        ext.transition("start", "{ f() }", to="v.tracked")
+        ext.transition("v.tracked", "{ g(v) }", to="v.stop",
+                       action=lambda ctx: ctx.err("boom"))
+        assert "unbound-state-variable" in codes(validate(ext))
+
+    def test_bound_is_fine(self):
+        ext = Extension("x")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ f(v) }", to="v.tracked",
+                       action=lambda ctx: None)
+        ext.transition("v.tracked", "{ g(v) }", to="v.stop")
+        assert "unbound-state-variable" not in codes(validate(ext))
+
+
+class TestSplitsAndShadowing:
+    def test_mixed_split(self):
+        ext = Extension("x")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ f(v) }", true_to="v.a", false_to="other")
+        assert "mixed-split" in codes(validate(ext))
+
+    def test_shadowed_rule(self):
+        ext = Extension("x")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ f(v) }", to="v.a", action=lambda c: None)
+        ext.transition("v.a", "{ g(v) }", to="v.stop")
+        ext.transition("v.a", "{ g(v) }", to="v.a")  # never fires
+        assert "shadowed-rule" in codes(validate(ext))
+
+    def test_different_patterns_not_shadowed(self):
+        ext = Extension("x")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ f(v) }", to="v.a", action=lambda c: None)
+        ext.transition("v.a", "{ g(v) }", to="v.stop")
+        ext.transition("v.a", "{ h(v) }", to="v.stop")
+        assert "shadowed-rule" not in codes(validate(ext))
+
+
+class TestCLIValidation:
+    def test_invalid_metal_rejected_by_cli(self, tmp_path, capsys):
+        from repro.driver.cli import main
+
+        bad = tmp_path / "bad.metal"
+        bad.write_text(
+            "sm bad {\n"
+            " state decl any_pointer v;\n"
+            " start: { f() } ==> v.tracked ;\n"  # never binds v
+            ' v.tracked: { g(v) } ==> v.stop, { err("x"); } ;\n'
+            "}\n"
+        )
+        src = tmp_path / "ok.c"
+        src.write_text("int f(void) { return 0; }\n")
+        code = main(["--metal", str(bad), str(src)])
+        assert code == 2
+        assert "unbound-state-variable" in capsys.readouterr().err
+
+
+class TestReporting:
+    def test_actionless_extension_flagged(self):
+        ext = Extension("x")
+        ext.state_var("v", ANY_POINTER)
+        ext.transition("start", "{ f(v) }", to="v.a")
+        ext.transition("v.a", "{ g(v) }", to="v.stop")
+        assert "no-actions" in codes(validate(ext))
