@@ -58,6 +58,40 @@ class CallGraph:
             remaining = sorted(set(self.functions) - reachable)
         return sorted(roots)
 
+    def components(self):
+        """Weakly-connected components over the *defined* functions.
+
+        Two functions share a component when one (transitively) calls the
+        other in either direction; calls to undefined externals do not
+        connect anything.  Each component is a sorted name list and the
+        component list is ordered by first member, so the partition is
+        deterministic -- this is the unit of pass-2 parallel scheduling
+        (each component's roots can be analyzed in isolation because the
+        DFS never follows a call out of its component).
+        """
+        adjacency = {name: set() for name in self.functions}
+        for name, callees in self.callees.items():
+            for callee in callees:
+                if callee in self.functions:
+                    adjacency[name].add(callee)
+                    adjacency[callee].add(name)
+        seen = set()
+        parts = []
+        for name in sorted(self.functions):
+            if name in seen:
+                continue
+            component = []
+            stack = [name]
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                component.append(current)
+                stack.extend(adjacency[current] - seen)
+            parts.append(sorted(component))
+        return parts
+
     def _reachable_from(self, names):
         seen = set()
         stack = list(names)

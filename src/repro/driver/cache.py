@@ -1,0 +1,113 @@
+"""The persistent, content-addressed AST cache behind incremental pass 1.
+
+The paper's pass 1 "compiles each file in isolation, emitting ASTs" (§6);
+those emitted files are re-runnable artifacts.  We key each one by what
+actually determines its contents:
+
+    key = SHA-256( parser version
+                 || filename
+                 || include-path configuration
+                 || -D define configuration
+                 || preprocessed token stream )
+
+Hashing the *preprocessed* tokens means edits to any transitively included
+header invalidate every file that saw it, while whitespace/comment-only
+edits still hit.  A warm cache turns pass 1 into pure ``load_emitted``
+work: zero re-parses.
+
+Emitted payloads are pickles of a small dict wrapping the translation
+unit with its original source size (so ``expansion_ratio`` and
+``total_source_bytes`` reporting survive cache-hit loads); bare-unit
+pickles from older emit dirs still load.
+"""
+
+import hashlib
+import os
+import pickle
+
+#: Bump when parser/astnodes change shape: old cache entries stop matching.
+PARSER_VERSION = "1"
+
+#: Payload format marker for emitted .ast files.
+AST_FORMAT_VERSION = 1
+
+
+def cache_key(filename, tokens, include_paths=(), defines=None):
+    """The content-addressed key for one preprocessed file."""
+    digest = hashlib.sha256()
+    digest.update(PARSER_VERSION.encode())
+    digest.update(b"\x00")
+    digest.update(str(filename).encode())
+    digest.update(b"\x00")
+    for path in include_paths:
+        digest.update(str(path).encode())
+        digest.update(b"\x1d")
+    digest.update(b"\x00")
+    for name, value in sorted((defines or {}).items()):
+        digest.update(("%s=%s" % (name, value)).encode())
+        digest.update(b"\x1d")
+    digest.update(b"\x00")
+    for token in tokens:
+        digest.update(token.kind.name.encode())
+        digest.update(b"\x1f")
+        digest.update(token.value.encode())
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+def pack_unit(unit, source_bytes):
+    """Serialize a translation unit into the emitted .ast payload."""
+    return pickle.dumps(
+        {
+            "format": AST_FORMAT_VERSION,
+            "parser_version": PARSER_VERSION,
+            "filename": unit.filename,
+            "source_bytes": source_bytes,
+            "unit": unit,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def unpack(data):
+    """``(unit, source_bytes)`` from an emitted payload.
+
+    ``source_bytes`` is 0 for legacy bare-unit pickles.
+    """
+    payload = pickle.loads(data)
+    if isinstance(payload, dict) and "unit" in payload:
+        return payload["unit"], int(payload.get("source_bytes") or 0)
+    return payload, 0
+
+
+class AstCache:
+    """Content-addressed store of emitted ASTs under one directory."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def path_for(self, key):
+        return os.path.join(self.root, key[:2], key + ".ast")
+
+    def lookup(self, key):
+        """The on-disk path for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        return path if os.path.exists(path) else None
+
+    def load(self, key):
+        """``(unit, source_bytes, emitted_bytes)`` for a cached key."""
+        path = self.path_for(key)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        unit, source_bytes = unpack(data)
+        return unit, source_bytes, len(data)
+
+    def store(self, key, data):
+        """Atomically write a payload; safe under concurrent writers."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+        return path

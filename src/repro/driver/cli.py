@@ -4,10 +4,12 @@ Usage::
 
     xgcc --checker free --checker lock file1.c file2.c
     xgcc --metal my_checker.metal --rank statistical src/*.c
+    xgcc --checker lock --jobs 4 --cache-dir .xgcc-cache src/*.c
     xgcc --list-checkers
 """
 
 import argparse
+import functools
 import sys
 
 from repro.checkers import ALL_CHECKERS
@@ -71,7 +73,21 @@ def build_parser():
     parser.add_argument("--no-caching", action="store_true")
     parser.add_argument("--no-kills", action="store_true")
     parser.add_argument("--no-synonyms", action="store_true")
-    parser.add_argument("--stats", action="store_true", help="print engine stats")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for both passes (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent content-addressed AST cache: unchanged files are "
+        "loaded instead of re-parsed on re-runs",
+    )
+    parser.add_argument("--stats", action="store_true",
+                        help="print engine + driver stats")
+    parser.add_argument(
+        "--stats-json", metavar="FILE",
+        help="dump driver/engine stats as JSON to FILE",
+    )
     parser.add_argument(
         "--trace",
         action="store_true",
@@ -143,10 +159,19 @@ def _make_project(args):
     for item in args.define:
         name, __, value = item.partition("=")
         defines[name] = value or "1"
-    project = Project(include_paths=args.include, defines=defines)
-    for path in args.files:
-        project.compile_file(path)
+    project = Project(include_paths=args.include, defines=defines,
+                      cache_dir=args.cache_dir)
+    project.compile_files(args.files, jobs=args.jobs)
     return project
+
+
+def _build_extensions(checker_names, metal_sources):
+    """Rebuild the CLI extension list (also runs inside worker processes,
+    where compiled extensions cannot be shipped by pickle)."""
+    extensions = [ALL_CHECKERS[name]() for name in checker_names]
+    for text, path in metal_sources:
+        extensions.append(compile_metal(text, path))
+    return extensions
 
 
 def _dump_mode(args):
@@ -177,10 +202,11 @@ def _run(parser, args):
     if args.dump_cfg or args.dump_dot or args.dump_callgraph:
         return _dump_mode(args)
 
-    extensions = [ALL_CHECKERS[name]() for name in args.checker]
+    metal_sources = []
     for path in args.metal:
         with open(path) as handle:
-            extensions.append(compile_metal(handle.read(), path))
+            metal_sources.append((handle.read(), path))
+    extensions = _build_extensions(args.checker, metal_sources)
     if not extensions and not args.infer:
         parser.error("no checkers selected (use --checker, --metal, or --infer)")
 
@@ -205,15 +231,24 @@ def _run(parser, args):
     reports = []
     result = None
     if extensions:
-        analysis = project.analysis(options)
-        result = analysis.run(extensions)
-        reports.extend(result.reports)
-        if args.dump_summaries:
-            from repro.driver.dump import dump_summaries
+        if args.jobs > 1 and not args.dump_summaries:
+            # Summary tables are worker-local; --dump-summaries forces the
+            # serial path below.
+            factory = functools.partial(
+                _build_extensions, tuple(args.checker), tuple(metal_sources)
+            )
+            result = project.run(extensions, options, jobs=args.jobs,
+                                 extension_factory=factory)
+        else:
+            analysis = project.analysis(options)
+            result = analysis.run(extensions)
+            if args.dump_summaries:
+                from repro.driver.dump import dump_summaries
 
-            for ext_name, table in result.tables.items():
-                print("### summaries for %s" % ext_name, file=sys.stderr)
-                print(dump_summaries(analysis, table), file=sys.stderr)
+                for ext_name, table in result.tables.items():
+                    print("### summaries for %s" % ext_name, file=sys.stderr)
+                    print(dump_summaries(analysis, table), file=sys.stderr)
+        reports.extend(result.reports)
 
     if "pairs" in args.infer:
         from repro.checkers import infer_pairs, make_pair_checker
@@ -266,9 +301,17 @@ def _run(parser, args):
     else:
         for report in reports:
             print(report.format_trace() if args.trace else report.format())
-    if args.stats and result is not None:
-        for key, value in sorted(result.stats.items()):
-            print("# %s = %s" % (key, value), file=sys.stderr)
+    if args.stats:
+        if result is not None:
+            for key, value in sorted(result.stats.items()):
+                print("# %s = %s" % (key, value), file=sys.stderr)
+        for line in project.stats.format_lines():
+            print("# %s" % line, file=sys.stderr)
+    if args.stats_json:
+        project.stats.dump_json(
+            args.stats_json,
+            extra={"engine": dict(result.stats) if result is not None else {}},
+        )
     return 1 if reports else 0
 
 

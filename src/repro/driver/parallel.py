@@ -1,0 +1,382 @@
+"""Parallel scheduling for both driver passes (§6 at scale).
+
+Pass 1 is embarrassingly parallel: each file is preprocessed, parsed, and
+emitted in isolation, so :func:`compile_files_into` fans the per-file work
+out over a ``ProcessPoolExecutor`` and registers results in input order --
+serial and parallel runs build byte-identical projects.
+
+Pass 2 parallelism rides on a structural fact: the DFS never follows a
+call edge out of a weakly-connected call-graph component, so components
+can be analyzed in separate worker processes with the full engine
+(summaries, false-path pruning, composition all intact).  The parent
+merges worker logs back into the *serial* report order using the per-root
+spans the engine records (:attr:`repro.engine.analysis.Analysis.root_spans`),
+so parallel runs produce the same reports in the same order.
+
+Extensions hold Python callables (checker actions are lambdas), which do
+not pickle; workers therefore rebuild them from an ``extension_factory``
+-- any picklable zero-argument callable -- or from a pickle of the
+extension list when that happens to work.  When neither does, the run
+falls back to serial and says so in the driver stats.
+"""
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.driver import cache as astcache
+
+
+def _read_source(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+# -- pass 1 -------------------------------------------------------------------
+
+
+class Pass1Task:
+    """One file's pass-1 work order, shipped to a worker."""
+
+    __slots__ = ("index", "path", "include_paths", "defines", "cache_dir",
+                 "emit_dir", "file_reader")
+
+    def __init__(self, index, path, include_paths, defines, cache_dir,
+                 emit_dir, file_reader):
+        self.index = index
+        self.path = path
+        self.include_paths = include_paths
+        self.defines = defines
+        self.cache_dir = cache_dir
+        self.emit_dir = emit_dir
+        self.file_reader = file_reader
+
+
+class Pass1Result:
+    """What comes back: either a cache hit (path to the payload) or a
+    freshly parsed unit (shipped back through the pool's own pickling)."""
+
+    __slots__ = ("index", "filename", "status", "key", "cache_path", "unit",
+                 "source_bytes", "emitted_bytes", "timings", "pid")
+
+    def __init__(self, index, filename, status, key, cache_path, unit,
+                 source_bytes, emitted_bytes, timings, pid):
+        self.index = index
+        self.filename = filename
+        self.status = status  # "hit" | "parsed"
+        self.key = key
+        self.cache_path = cache_path
+        self.unit = unit
+        self.source_bytes = source_bytes
+        self.emitted_bytes = emitted_bytes
+        self.timings = timings
+        self.pid = pid
+
+
+def pass1_worker(task):
+    """Preprocess -> cache probe -> parse -> emit for one file.
+
+    Runs in a worker process (or inline for ``jobs=1``).  The cache probe
+    happens *after* preprocessing because the cache key hashes the
+    preprocessed token stream (header edits must invalidate dependents);
+    a hit still skips the expensive part, the parse.
+    """
+    from repro.cfront.preproc import Preprocessor
+
+    timings = {}
+    read = task.file_reader or _read_source
+    start = time.perf_counter()
+    text = read(task.path)
+    pp = Preprocessor(task.include_paths, task.defines, task.file_reader)
+    tokens = pp.preprocess_text(text, task.path)
+    timings["preprocess"] = time.perf_counter() - start
+
+    key = None
+    store = None
+    if task.cache_dir:
+        store = astcache.AstCache(task.cache_dir)
+        key = astcache.cache_key(
+            task.path, tokens, task.include_paths, task.defines
+        )
+        hit = store.lookup(key)
+        if hit is not None:
+            return Pass1Result(
+                index=task.index, filename=task.path, status="hit", key=key,
+                cache_path=hit, unit=None, source_bytes=None,
+                emitted_bytes=os.path.getsize(hit), timings=timings,
+                pid=os.getpid(),
+            )
+
+    from repro.cfront.parser import Parser
+
+    start = time.perf_counter()
+    parser = Parser(None, task.path, tokens=tokens)
+    unit = parser.parse_translation_unit()
+    unit.filename = task.path
+    timings["parse"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    source_bytes = len(text.encode())
+    payload = astcache.pack_unit(unit, source_bytes)
+    if store is not None:
+        store.store(key, payload)
+    if task.emit_dir:
+        os.makedirs(task.emit_dir, exist_ok=True)
+        out = os.path.join(
+            task.emit_dir, os.path.basename(task.path) + ".ast"
+        )
+        with open(out, "wb") as handle:
+            handle.write(payload)
+    timings["emit"] = time.perf_counter() - start
+
+    return Pass1Result(
+        index=task.index, filename=task.path, status="parsed", key=key,
+        cache_path=None, unit=unit, source_bytes=source_bytes,
+        emitted_bytes=len(payload), timings=timings, pid=os.getpid(),
+    )
+
+
+def compile_files_into(project, paths, jobs=1):
+    """Run pass 1 for ``paths`` into ``project``; returns CompiledUnits."""
+    paths = list(paths)
+    tasks = [
+        Pass1Task(
+            index, path, project.include_paths, project.defines,
+            project.cache_dir, project.emit_dir, project.file_reader,
+        )
+        for index, path in enumerate(paths)
+    ]
+    stats = project.stats
+    use_pool = bool(jobs and jobs > 1 and len(tasks) > 1)
+    if use_pool and not _picklable(tasks[0]):
+        stats.add("pass1_serial_fallback")
+        use_pool = False
+    start = time.perf_counter()
+    if use_pool:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            results = list(pool.map(pass1_worker, tasks))
+    else:
+        results = [pass1_worker(task) for task in tasks]
+    stats.add_time("pass1_wall", time.perf_counter() - start)
+
+    compiled = []
+    for result in sorted(results, key=lambda r: r.index):
+        compiled.append(_absorb(project, result))
+    return compiled
+
+
+def _absorb(project, result):
+    """Register one worker result with the parent project (input order)."""
+    from repro.driver.project import CompiledUnit
+
+    stats = project.stats
+    stats.count_worker_task(result.pid)
+    stats.merge_timings(result.timings)
+    if result.status == "hit":
+        stats.add("cache_hits")
+        with open(result.cache_path, "rb") as handle:
+            data = handle.read()
+        unit, source_bytes = astcache.unpack(data)
+        compiled = CompiledUnit(
+            result.filename, unit, source_bytes, len(data), from_cache=True
+        )
+    else:
+        stats.add("parses")
+        if project.cache_dir:
+            stats.add("cache_misses")
+        compiled = CompiledUnit(
+            result.filename, result.unit, result.source_bytes,
+            result.emitted_bytes,
+        )
+    project.compiled.append(compiled)
+    project._register(compiled.unit, compiled.filename)
+    return compiled
+
+
+def _picklable(obj):
+    try:
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return False
+    return True
+
+
+# -- pass 2 -------------------------------------------------------------------
+
+
+class ExtensionSpec:
+    """A worker-rebuildable description of the extension list."""
+
+    __slots__ = ("factory", "pickled")
+
+    def __init__(self, factory=None, pickled=None):
+        self.factory = factory
+        self.pickled = pickled
+
+    @classmethod
+    def capture(cls, extensions, factory=None):
+        """Build a spec, or return None when nothing ships to workers."""
+        if factory is not None:
+            return cls(factory=factory) if _picklable(factory) else None
+        try:
+            data = pickle.dumps(list(extensions), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
+        return cls(pickled=data)
+
+    def build(self):
+        if self.factory is not None:
+            extensions = self.factory()
+            if not isinstance(extensions, (list, tuple)):
+                extensions = [extensions]
+            return list(extensions)
+        return pickle.loads(self.pickled)
+
+
+class Pass2Task:
+    """One call-graph component's analysis work order."""
+
+    __slots__ = ("index", "decls", "static_vars", "options", "spec")
+
+    def __init__(self, index, decls, static_vars, options, spec):
+        self.index = index
+        self.decls = decls
+        self.static_vars = static_vars
+        self.options = options
+        self.spec = spec
+
+
+class Pass2Result:
+    """A worker's mergeable analysis outcome."""
+
+    __slots__ = ("index", "reports", "spans", "examples", "counterexamples",
+                 "stats", "timers", "truncated", "pid")
+
+    def __init__(self, index, reports, spans, examples, counterexamples,
+                 stats, timers, truncated, pid):
+        self.index = index
+        self.reports = reports
+        self.spans = spans
+        self.examples = examples
+        self.counterexamples = counterexamples
+        self.stats = stats
+        self.timers = timers
+        self.truncated = truncated
+        self.pid = pid
+
+
+def pass2_worker(task):
+    """Run the full Analysis DFS over one call-graph component."""
+    from repro.cfg.callgraph import CallGraph
+    from repro.driver.stats import DriverStats
+    from repro.engine.analysis import Analysis
+
+    graph = CallGraph()
+    for decl in task.decls:
+        graph.add_function(decl)
+    graph.link()
+    stats = DriverStats()
+    analysis = Analysis(
+        callgraph=graph,
+        options=task.options,
+        static_vars=task.static_vars,
+        phase_timer=stats.phase,
+    )
+    result = analysis.run(task.spec.build())
+    return Pass2Result(
+        index=task.index,
+        reports=list(result.log.reports),
+        spans=list(analysis.root_spans),
+        examples=result.log.examples,
+        counterexamples=result.log.counterexamples,
+        stats=result.stats,
+        timers=stats.timers,
+        truncated=result.truncated,
+        pid=os.getpid(),
+    )
+
+
+def run_parallel(project, extensions, options=None, jobs=1,
+                 extension_factory=None):
+    """Pass-2 parallel scheduling over call-graph components.
+
+    Deterministic by construction: the parent walks extensions in order
+    and the *global* sorted root list (exactly the serial iteration
+    order), appending each root's report span from whichever worker
+    analyzed its component.  Falls back to a serial run when there is
+    nothing to parallelize or the extensions cannot be shipped.
+    """
+    from repro.engine.analysis import AnalysisOptions
+
+    if not isinstance(extensions, (list, tuple)):
+        extensions = [extensions]
+    stats = project.stats
+    graph = project.callgraph
+    components = graph.components()
+    spec = ExtensionSpec.capture(extensions, extension_factory)
+    if spec is None:
+        stats.add("pass2_serial_fallback")
+    if spec is None or jobs <= 1 or len(components) <= 1 or not extensions:
+        return project.analysis(options).run(extensions)
+
+    options = options or AnalysisOptions()
+    static_vars = dict(project.static_vars)
+    tasks = [
+        Pass2Task(
+            index,
+            [graph.functions[name] for name in component],
+            static_vars,
+            options,
+            spec,
+        )
+        for index, component in enumerate(components)
+    ]
+    stats.add("pass2_components", len(tasks))
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        results = list(pool.map(pass2_worker, tasks))
+    stats.add_time("pass2_wall", time.perf_counter() - start)
+
+    return merge_results(project, extensions, results)
+
+
+def merge_results(project, extensions, results):
+    """Deterministically merge worker outcomes into one AnalysisResult."""
+    from repro.engine.analysis import AnalysisResult
+    from repro.engine.errors import ErrorLog
+
+    stats = project.stats
+    span_owner = {}
+    for result in results:
+        stats.count_worker_task(result.pid)
+        stats.merge_timings(result.timers)
+        for ext_index, root, begin, end in result.spans:
+            span_owner[(ext_index, root)] = (result, begin, end)
+
+    log = ErrorLog()
+    roots = project.callgraph.roots()
+    for ext_index in range(len(extensions)):
+        for root in roots:
+            owned = span_owner.get((ext_index, root))
+            if owned is None:
+                continue
+            result, begin, end = owned
+            for report in result.reports[begin:end]:
+                log.add(report)
+    for result in results:
+        for rule_id, sites in result.examples.items():
+            log.examples.setdefault(rule_id, set()).update(sites)
+        for rule_id, sites in result.counterexamples.items():
+            log.counterexamples.setdefault(rule_id, set()).update(sites)
+
+    merged_stats = {}
+    for result in results:
+        for name, value in result.stats.items():
+            merged_stats[name] = merged_stats.get(name, 0) + value
+    merged_stats["errors"] = len(log)
+    truncated = any(result.truncated for result in results)
+    # Block/suffix summary tables are per-worker (keyed on worker-local
+    # block objects) and are not reassembled across processes; use a
+    # serial run when Figure-5-style summary dumps are needed.
+    return AnalysisResult(log, {}, merged_stats, truncated)

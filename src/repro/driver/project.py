@@ -11,14 +11,26 @@ their ASTs, and constructs the CFG and call graph."
 Pass 1 output is a pickle of the translation unit per file (our "emitted
 AST" format); the size ratio claim is measured by
 ``benchmarks/bench_ast_emission.py``.
+
+Both passes scale out (docs/DRIVER.md):
+
+- :meth:`Project.compile_files` fans pass 1 over worker processes
+  (``jobs=N``) and, when ``cache_dir`` is set, serves unchanged files
+  from a persistent content-addressed AST cache
+  (:mod:`repro.driver.cache`) instead of re-parsing them.
+- :meth:`Project.run` with ``jobs=N`` partitions the call graph into
+  connected components and analyzes them in worker processes, merging
+  the logs back into the exact serial report order
+  (:mod:`repro.driver.parallel`).
 """
 
 import os
-import pickle
 
 from repro.cfront.parser import Parser
 from repro.cfront.preproc import Preprocessor
 from repro.cfg.callgraph import CallGraph
+from repro.driver import cache as astcache
+from repro.driver.stats import DriverStats
 from repro.engine.analysis import Analysis, AnalysisOptions
 from repro.cfront import astnodes as ast
 
@@ -26,11 +38,13 @@ from repro.cfront import astnodes as ast
 class CompiledUnit:
     """Pass-1 output for one source file."""
 
-    def __init__(self, filename, unit, source_bytes, emitted_bytes):
+    def __init__(self, filename, unit, source_bytes, emitted_bytes,
+                 from_cache=False):
         self.filename = filename
         self.unit = unit
         self.source_bytes = source_bytes
         self.emitted_bytes = emitted_bytes
+        self.from_cache = from_cache
 
     @property
     def expansion_ratio(self):
@@ -43,13 +57,18 @@ class Project:
     """A source base under analysis."""
 
     def __init__(self, include_paths=(), defines=None, emit_dir=None,
-                 file_reader=None):
+                 file_reader=None, cache_dir=None, stats=None):
         self.include_paths = list(include_paths)
         self.defines = dict(defines or {})
         self.emit_dir = emit_dir
+        #: Persistent content-addressed AST cache directory (incremental
+        #: pass 1); None disables caching.
+        self.cache_dir = cache_dir
         #: Optional override for reading #include targets (e.g. in-memory
         #: trees from the project generator); defaults to the filesystem.
         self.file_reader = file_reader
+        #: Driver observability (timers / cache counters / worker tallies).
+        self.stats = stats or DriverStats()
         self.units = []
         self.compiled = []
         self.static_vars = {}
@@ -59,34 +78,61 @@ class Project:
 
     def compile_text(self, text, filename="<string>"):
         """Pass 1 for in-memory source text."""
-        pp = Preprocessor(self.include_paths, self.defines, self.file_reader)
-        tokens = pp.preprocess_text(text, filename)
-        parser = Parser(None, filename, tokens=tokens)
-        unit = parser.parse_translation_unit()
-        unit.filename = filename
-        emitted = pickle.dumps(unit, protocol=pickle.HIGHEST_PROTOCOL)
-        if self.emit_dir is not None:
-            os.makedirs(self.emit_dir, exist_ok=True)
-            out = os.path.join(
-                self.emit_dir, os.path.basename(filename) + ".ast"
-            )
-            with open(out, "wb") as handle:
-                handle.write(emitted)
-        compiled = CompiledUnit(filename, unit, len(text.encode()), len(emitted))
+        with self.stats.phase("preprocess"):
+            pp = Preprocessor(self.include_paths, self.defines, self.file_reader)
+            tokens = pp.preprocess_text(text, filename)
+        with self.stats.phase("parse"):
+            parser = Parser(None, filename, tokens=tokens)
+            unit = parser.parse_translation_unit()
+            unit.filename = filename
+        self.stats.add("parses")
+        source_bytes = len(text.encode())
+        with self.stats.phase("emit"):
+            emitted = astcache.pack_unit(unit, source_bytes)
+            if self.emit_dir is not None:
+                os.makedirs(self.emit_dir, exist_ok=True)
+                out = os.path.join(
+                    self.emit_dir, os.path.basename(filename) + ".ast"
+                )
+                with open(out, "wb") as handle:
+                    handle.write(emitted)
+        compiled = CompiledUnit(filename, unit, source_bytes, len(emitted))
         self.compiled.append(compiled)
         self._register(unit, filename)
         return compiled
 
     def compile_file(self, path):
-        with open(path) as handle:
-            return self.compile_text(handle.read(), path)
+        """Pass 1 for one on-disk file (cache-aware when cache_dir is set)."""
+        return self.compile_files([path])[0]
+
+    def compile_files(self, paths, jobs=1):
+        """Pass 1 over a batch of files, in deterministic input order.
+
+        ``jobs > 1`` fans preprocess/parse/emit out over a process pool;
+        results are registered in ``paths`` order regardless of worker
+        completion order, so serial and parallel runs build identical
+        projects.  With ``cache_dir`` set, unchanged files are cache hits
+        (``load_emitted`` work) rather than re-parses.
+        """
+        from repro.driver.parallel import compile_files_into
+        return compile_files_into(self, paths, jobs=jobs)
 
     def load_emitted(self, path):
-        """Pass 2 entry: reassemble a pass-1 AST file."""
+        """Pass 2 entry: reassemble a pass-1 AST file.
+
+        Appends a :class:`CompiledUnit` (emitted size from disk, original
+        source size from the payload) so ``expansion_ratio`` and
+        ``total_source_bytes`` reporting stay correct for cache-hit loads.
+        """
         with open(path, "rb") as handle:
-            unit = pickle.loads(handle.read())
+            data = handle.read()
+        unit, source_bytes = astcache.unpack(data)
+        compiled = CompiledUnit(
+            unit.filename, unit, source_bytes, len(data), from_cache=True
+        )
+        self.compiled.append(compiled)
         self._register(unit, unit.filename)
-        return unit
+        return compiled
 
     def _register(self, unit, filename):
         self.units.append(unit)
@@ -100,7 +146,8 @@ class Project:
     @property
     def callgraph(self):
         if self._callgraph is None:
-            self._callgraph = CallGraph.from_units(self.units)
+            with self.stats.phase("callgraph"):
+                self._callgraph = CallGraph.from_units(self.units)
         return self._callgraph
 
     def analysis(self, options=None):
@@ -109,10 +156,24 @@ class Project:
             callgraph=self.callgraph,
             options=options or AnalysisOptions(),
             static_vars=self.static_vars,
+            phase_timer=self.stats.phase,
         )
 
-    def run(self, extensions, options=None):
-        """Apply extensions to the whole project."""
+    def run(self, extensions, options=None, jobs=1, extension_factory=None):
+        """Apply extensions to the whole project.
+
+        ``jobs > 1`` schedules independent call-graph components onto
+        worker processes (same reports, same order as serial).  Workers
+        rebuild the extension list from ``extension_factory`` -- a
+        picklable zero-argument callable -- or by pickling ``extensions``
+        directly; when neither works the run falls back to serial.
+        """
+        if jobs and jobs > 1:
+            from repro.driver.parallel import run_parallel
+            return run_parallel(
+                self, extensions, options=options, jobs=jobs,
+                extension_factory=extension_factory,
+            )
         return self.analysis(options).run(extensions)
 
     # -- reporting helpers ----------------------------------------------------------

@@ -1,0 +1,94 @@
+"""Driver observability: per-phase timers, counters, and worker tallies.
+
+The two-pass driver (§6) records where wall-clock goes (preprocess /
+parse / emit in pass 1, cfg / traverse in pass 2), how the persistent AST
+cache behaves (hits vs misses vs fresh parses), and how work spread over
+worker processes.  ``xgcc --stats`` prints the summary; ``--stats-json``
+dumps it for the benchmarks.
+
+Timer convention: phase timers are summed across workers, so on a
+multi-core run they exceed the wall-clock entries (``pass1_wall``,
+``pass2_wall``) -- they measure aggregate CPU effort, the wall entries
+measure elapsed time.
+"""
+
+import json
+import time
+from contextlib import contextmanager
+
+
+class DriverStats:
+    """Counters + phase timers + per-worker task counts for one driver run."""
+
+    def __init__(self):
+        self.counters = {}
+        self.timers = {}  # phase name -> total seconds
+        self.workers = {}  # pid -> tasks completed
+
+    # -- counters -----------------------------------------------------------
+
+    def add(self, name, amount=1):
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def count(self, name):
+        return self.counters.get(name, 0)
+
+    # -- timers -------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name):
+        """Time a phase; nests and repeats accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def add_time(self, name, seconds):
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def merge_timings(self, timings):
+        """Fold a worker's ``{phase: seconds}`` dict into this one."""
+        for name, seconds in (timings or {}).items():
+            self.add_time(name, seconds)
+
+    # -- workers ------------------------------------------------------------
+
+    def count_worker_task(self, pid, amount=1):
+        self.workers[pid] = self.workers.get(pid, 0) + amount
+
+    # -- output -------------------------------------------------------------
+
+    def as_dict(self):
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "timers_s": {
+                k: round(self.timers[k], 6) for k in sorted(self.timers)
+            },
+            "workers": {
+                str(pid): self.workers[pid] for pid in sorted(self.workers)
+            },
+        }
+
+    def dump_json(self, path, extra=None):
+        """Write the stats (plus optional extra sections) to ``path``."""
+        payload = self.as_dict()
+        payload.update(extra or {})
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return payload
+
+    def format_lines(self, prefix="driver."):
+        """``--stats`` text form, one ``name = value`` line per entry."""
+        lines = []
+        for name in sorted(self.counters):
+            lines.append("%s%s = %d" % (prefix, name, self.counters[name]))
+        for name in sorted(self.timers):
+            lines.append("%s%s_s = %.4f" % (prefix, name, self.timers[name]))
+        for pid in sorted(self.workers):
+            lines.append("%sworker.%s_tasks = %d" % (prefix, pid, self.workers[pid]))
+        return lines
+
+    def __repr__(self):
+        return "<DriverStats %r>" % (self.as_dict(),)

@@ -7,6 +7,7 @@ sequential runs through the shared :class:`AnnotationStore`.
 """
 
 import sys
+from contextlib import nullcontext
 
 from repro.cfront import astnodes as ast
 from repro.cfg.blocks import ReturnMarker
@@ -57,6 +58,7 @@ class AnalysisOptions:
         caching=True,
         propagate_return_state=False,
         by_value_params=False,
+        restrict_partial_hits=False,
         max_steps=20_000_000,
     ):
         self.interprocedural = interprocedural
@@ -66,6 +68,13 @@ class AnalysisOptions:
         self.caching = caching
         self.propagate_return_state = propagate_return_state
         self.by_value_params = by_value_params
+        # §5.3 describes continuing a partially cached path with only the
+        # missed tuples.  That reduced state is an approximation: the DFS
+        # then explores (gstate, vars) combinations no real path produces,
+        # which can manufacture reports.  Off by default -- partial hits
+        # re-traverse with the full state (full hits still abort) -- so
+        # cached and uncached runs report identically.
+        self.restrict_partial_hits = restrict_partial_hits
         self.max_steps = max_steps
 
 
@@ -116,7 +125,7 @@ class _FunctionContext:
 class _BlockRun:
     """Entry snapshot of one block traversal, for summary recording."""
 
-    __slots__ = ("block", "entry_gstate", "entry")
+    __slots__ = ("block", "entry_gstate", "entry", "entry_state_key")
 
     def __init__(self, block, sm):
         self.block = block
@@ -125,15 +134,26 @@ class _BlockRun:
             (inst.tuple_key(sm.gstate), inst.uid, inst.copy())
             for inst in sm.live_instances()
         ]
+        # The entry state as (gstate, frozenset of instance tuples) -- the
+        # placeholder is normalized away so the empty state is the subset
+        # of every state (BlockSummary.entry_states).
+        self.entry_state_key = (
+            sm.gstate,
+            frozenset(entry_tuple for entry_tuple, __, __ in self.entry),
+        )
 
 
 class Analysis:
     """Applies metal extensions to a source base."""
 
-    def __init__(self, units=None, options=None, callgraph=None, static_vars=None):
+    def __init__(self, units=None, options=None, callgraph=None, static_vars=None,
+                 phase_timer=None):
         """``units`` is an iterable of TranslationUnits (or pass a prebuilt
         ``callgraph``).  ``static_vars`` maps file-scope static variable
-        names to their file (drives the §6.1 inactivation rule)."""
+        names to their file (drives the §6.1 inactivation rule).
+        ``phase_timer`` is an optional context-manager factory (e.g.
+        :meth:`repro.driver.stats.DriverStats.phase`) timing the cfg and
+        traverse phases."""
         if callgraph is None:
             callgraph = CallGraph.from_units(units or [])
         self.callgraph = callgraph
@@ -153,6 +173,13 @@ class Analysis:
             "calls_followed": 0,
             "errors": 0,
         }
+        #: ``(extension_index, root, first_report, end_report)`` spans over
+        #: ``self.log.reports``: which root produced which reports.  The
+        #: parallel driver merges worker logs back into the serial report
+        #: order with these.
+        self.root_spans = []
+        self._phase_timer = phase_timer
+        self._ext_index = 0
         # Per-run state.
         self._table = None
         self._ext = None
@@ -170,8 +197,10 @@ class Analysis:
         if not isinstance(extensions, (list, tuple)):
             extensions = [extensions]
         tables = {}
-        for ext in extensions:
-            tables[ext.name] = self.run_one(ext, roots=roots)
+        with self._phase("traverse"):
+            for ext_index, ext in enumerate(extensions):
+                self._ext_index = ext_index
+                tables[ext.name] = self.run_one(ext, roots=roots)
         self.stats["errors"] = len(self.log)
         return AnalysisResult(self.log, tables, dict(self.stats), self._truncated)
 
@@ -188,11 +217,16 @@ class Analysis:
         for root in roots:
             if root not in self.callgraph.functions:
                 continue
+            start = len(self.log)
             try:
                 self._run_root(ext, root)
             except AnalysisBudgetExceeded:
                 self._truncated = True
+                self.root_spans.append(
+                    (self._ext_index, root, start, len(self.log))
+                )
                 break
+            self.root_spans.append((self._ext_index, root, start, len(self.log)))
         return self._table
 
     def run_on_function(self, ext, name):
@@ -210,10 +244,16 @@ class Analysis:
     def user_globals(self, ext):
         return self._user_globals.setdefault(ext.name, {})
 
+    def _phase(self, name):
+        if self._phase_timer is None:
+            return nullcontext()
+        return self._phase_timer(name)
+
     def _cfg(self, name):
         cfg = self._cfgs.get(name)
         if cfg is None:
-            cfg = build_cfg(self.callgraph.functions[name])
+            with self._phase("cfg"):
+                cfg = build_cfg(self.callgraph.functions[name])
             self._cfgs[name] = cfg
         return cfg
 
@@ -248,11 +288,11 @@ class Analysis:
             summary = self._table.get(block)
             tuples = state_tuples(sm)
             missed = {t for t in tuples if not summary.covers(t)}
-            if not missed:
+            if not missed and self._creations_covered(summary, sm):
                 self.stats["cache_hits"] += 1
                 relax(backtrace + [block], self._table, fctx.local_edge_filter)
                 return
-            if missed != tuples:
+            if missed and missed != tuples and self.options.restrict_partial_hits:
                 self._restrict(sm, missed)
         self.stats["blocks_traversed"] += 1
         backtrace = backtrace + [block]
@@ -262,11 +302,35 @@ class Analysis:
         points = self._points_of(block)
         self._run_points(fctx, sm, constraints, block, points, 0, run, backtrace)
 
+    def _creations_covered(self, summary, sm):
+        """May a fully tuple-covered state abort (§5.3)?
+
+        Tuple coverage caches every tuple's *continuation*, but an object
+        the state knows nothing about is not a tuple: a prior run that
+        tracked it recorded its transitions, not the creation the current
+        path would perform.  So a hit additionally needs some completed
+        run whose entry state was a subset of this one -- every object
+        unknown now was unknown then, so its creation (and everything
+        downstream) is in the recorded summaries.  The paper's pure
+        tuple-wise rule is available via ``restrict_partial_hits``."""
+        if self.options.restrict_partial_hits:
+            return True
+        live = frozenset(
+            inst.tuple_key(sm.gstate) for inst in sm.live_instances()
+        )
+        return summary.saw_subset_entry(sm.gstate, live)
+
     def _restrict(self, sm, missed):
-        """Keep only the instances whose tuples were cache misses (§5.3)."""
+        """Keep only the instances whose tuples were cache misses (§5.3).
+
+        Removed objects are remembered so that a function summary applied
+        later on this path cannot re-create state for them: their real
+        continuations are the cached ones, not whatever the callee did
+        while they were absent."""
         gstate = sm.gstate
         for inst in list(sm.live_instances()):
             if inst.tuple_key(gstate) not in missed:
+                sm.restricted.add((inst.var_name, inst.obj_key))
                 sm.remove(inst)
 
     def _points_of(self, block):
@@ -457,6 +521,8 @@ class Analysis:
                 else target.value
             )
             inst = VarInstance(var_name, obj, value)
+            # A real creation point re-tracks a cache-restricted object.
+            sm.restricted.discard((var_name, key))
             inst.created_at = creation_site
             inst.created_location = getattr(point, "location", None)
             inst.origin_location = inst.created_location
@@ -611,6 +677,7 @@ class Analysis:
 
     def _record_block_run(self, run, sm):
         summary = self._table.get(run.block)
+        summary.entry_states.add(run.entry_state_key)
         g0 = run.entry_gstate
         g1 = sm.gstate
         # The placeholder edge is a real cache entry only when the
@@ -694,7 +761,8 @@ class Analysis:
             if inst.inactive and inst.file_scope_file == callee_fctx.file:
                 inst.inactive = False
 
-        function_summary = self._table.get(callee_cfg.entry).suffix
+        entry_summary = self._table.get(callee_cfg.entry)
+        function_summary = entry_summary.suffix
         tuples = state_tuples(refined)
         hit = all(
             any(
@@ -702,7 +770,7 @@ class Analysis:
                 for e in function_summary.with_start(t)
             )
             for t in tuples
-        )
+        ) and self._creations_covered(entry_summary, refined)
 
         return_states = []
         if hit:
@@ -748,6 +816,15 @@ class Analysis:
                     part.add(inst.copy())
 
         restored = restore(partitions, saved, argmap, sm, callee_fctx.local_names)
+
+        # Cache-restricted objects stay owned by the cache across the call:
+        # drop any state the summary application resurrected for them.
+        if sm.restricted:
+            for new_sm in restored:
+                new_sm.restricted |= sm.restricted
+                for inst in list(new_sm.active_vars):
+                    if (inst.var_name, inst.obj_key) in sm.restricted:
+                        new_sm.remove(inst)
 
         # File-scope variables re-enter scope when the analysis is back in
         # their file (and leave it again otherwise) -- §6.1.

@@ -110,6 +110,23 @@ class BlockSummary:
         self.block = block
         self.edges = EdgeSet()  # block summary
         self.suffix = EdgeSet()  # suffix summary
+        # Entry states of completed runs, as (gstate, frozenset of
+        # non-placeholder tuples).  A cache hit needs a prior run whose
+        # entry was a *subset* of the current state: only then were all
+        # the creations the current state could still make (its unknown
+        # objects) possible in the recorded run.  Tuple coverage alone
+        # cannot see this -- "unknown" is the absence of a tuple.
+        self.entry_states = set()
+
+    def saw_subset_entry(self, gstate, tuples):
+        """Did some completed run enter with ``gstate`` and a subset of
+        ``tuples``?  (``tuples`` excludes the placeholder.)"""
+        if (gstate, tuples) in self.entry_states:
+            return True
+        return any(
+            g == gstate and prior <= tuples
+            for g, prior in self.entry_states
+        )
 
     def covers(self, start_tuple):
         """Does the cache contain this state tuple (as a transition edge

@@ -84,6 +84,49 @@ class TestTwoPass:
         result = project.run(lock_checker())
         assert [r.function for r in result.reports] == ["handler_b"]
 
+    def test_load_emitted_keeps_size_accounting(self, source_tree, tmp_path):
+        emit_dir = str(tmp_path / "emitted")
+        pass1 = Project(include_paths=[str(source_tree)], emit_dir=emit_dir)
+        original = pass1.compile_file(str(source_tree / "a.c"))
+
+        pass2 = Project()
+        loaded = pass2.load_emitted(os.path.join(emit_dir, "a.c.ast"))
+        assert loaded is pass2.compiled[0]
+        assert loaded.from_cache
+        assert loaded.source_bytes == original.source_bytes > 0
+        assert loaded.emitted_bytes == os.path.getsize(
+            os.path.join(emit_dir, "a.c.ast")
+        )
+        assert pass2.total_source_bytes() == original.source_bytes
+        assert loaded.expansion_ratio == pytest.approx(
+            original.expansion_ratio
+        )
+
+    def test_callgraph_built_once_per_batch(self, source_tree, monkeypatch):
+        from repro.cfg.callgraph import CallGraph
+
+        builds = []
+        original = CallGraph.from_units.__func__
+
+        def counting(cls, units):
+            builds.append(len(list(units)))
+            return original(cls, units)
+
+        monkeypatch.setattr(CallGraph, "from_units", classmethod(counting))
+
+        project = Project(include_paths=[str(source_tree)])
+        project.compile_files(
+            [str(source_tree / "a.c"), str(source_tree / "b.c")]
+        )
+        project.callgraph
+        project.callgraph  # cached: still one build for the batch
+        assert builds == [2]
+
+        # Registering another unit invalidates the cached graph.
+        project.compile_file(str(source_tree / "a.c"))
+        project.callgraph
+        assert builds == [2, 3]
+
 
 class TestCLI:
     def test_list_checkers(self, capsys):
