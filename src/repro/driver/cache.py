@@ -16,20 +16,37 @@ edits still hit.  A warm cache turns pass 1 into pure ``load_emitted``
 work: zero re-parses.
 
 Emitted payloads are pickles of a small dict wrapping the translation
-unit with its original source size (so ``expansion_ratio`` and
-``total_source_bytes`` reporting survive cache-hit loads); bare-unit
-pickles from older emit dirs still load.
+unit with its original source size, framed by a magic marker and a
+SHA-256 checksum of the pickle.  The checksum is verified on every read:
+a truncated, garbled, or version-skewed entry raises
+:class:`CacheCorruption` instead of crashing (or silently poisoning) the
+run, and the driver evicts it and re-parses (docs/DRIVER.md,
+"Degradation semantics").  Bare-unit pickles from older emit dirs still
+load -- they just have no checksum to verify.
 """
 
 import hashlib
 import os
 import pickle
 
+from repro import faults
+
 #: Bump when parser/astnodes change shape: old cache entries stop matching.
 PARSER_VERSION = "1"
 
 #: Payload format marker for emitted .ast files.
-AST_FORMAT_VERSION = 1
+AST_FORMAT_VERSION = 2
+
+#: Leading magic of a framed payload: marker + 32-byte SHA-256 of the
+#: pickle that follows.
+FRAME_MAGIC = b"XGCCAST\x02"
+_FRAME_HEADER = len(FRAME_MAGIC) + 32
+
+
+class CacheCorruption(Exception):
+    """An emitted/cached payload that cannot be trusted: truncated,
+    garbled, checksum-mismatched, or written by a different parser
+    version.  Callers evict and re-parse instead of crashing."""
 
 
 def cache_key(filename, tokens, include_paths=(), defines=None):
@@ -57,7 +74,7 @@ def cache_key(filename, tokens, include_paths=(), defines=None):
 
 def pack_unit(unit, source_bytes):
     """Serialize a translation unit into the emitted .ast payload."""
-    return pickle.dumps(
+    payload = pickle.dumps(
         {
             "format": AST_FORMAT_VERSION,
             "parser_version": PARSER_VERSION,
@@ -67,17 +84,44 @@ def pack_unit(unit, source_bytes):
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
+    return FRAME_MAGIC + hashlib.sha256(payload).digest() + payload
 
 
 def unpack(data):
     """``(unit, source_bytes)`` from an emitted payload.
 
-    ``source_bytes`` is 0 for legacy bare-unit pickles.
+    Verifies the frame checksum (framed payloads) and the recorded
+    parser version; raises :class:`CacheCorruption` on anything
+    untrustworthy.  ``source_bytes`` is 0 for legacy bare-unit pickles.
     """
-    payload = pickle.loads(data)
-    if isinstance(payload, dict) and "unit" in payload:
-        return payload["unit"], int(payload.get("source_bytes") or 0)
-    return payload, 0
+    if data[: len(FRAME_MAGIC)] == FRAME_MAGIC:
+        digest = data[len(FRAME_MAGIC):_FRAME_HEADER]
+        payload = data[_FRAME_HEADER:]
+        if len(data) < _FRAME_HEADER or hashlib.sha256(payload).digest() != digest:
+            raise CacheCorruption(
+                "checksum mismatch (truncated or garbled payload)"
+            )
+    else:
+        payload = data  # legacy unframed pickle
+    try:
+        obj = pickle.loads(payload)
+    except Exception as err:
+        raise CacheCorruption("unreadable payload: %r" % err)
+    if isinstance(obj, dict) and "unit" in obj:
+        version = obj.get("parser_version")
+        if version != PARSER_VERSION:
+            raise CacheCorruption(
+                "parser version skew: entry says %r, this build is %r"
+                % (version, PARSER_VERSION)
+            )
+        unit, source_bytes = obj["unit"], int(obj.get("source_bytes") or 0)
+    else:
+        unit, source_bytes = obj, 0
+    if not hasattr(unit, "decls"):
+        raise CacheCorruption(
+            "payload is not a translation unit: %r" % type(unit)
+        )
+    return unit, source_bytes
 
 
 class AstCache:
@@ -95,7 +139,10 @@ class AstCache:
         return path if os.path.exists(path) else None
 
     def load(self, key):
-        """``(unit, source_bytes, emitted_bytes)`` for a cached key."""
+        """``(unit, source_bytes, emitted_bytes)`` for a cached key.
+
+        Raises :class:`CacheCorruption` for untrustworthy entries.
+        """
         path = self.path_for(key)
         with open(path, "rb") as handle:
             data = handle.read()
@@ -110,4 +157,51 @@ class AstCache:
         with open(tmp, "wb") as handle:
             handle.write(data)
         os.replace(tmp, path)
+        spec = faults.fires("cache.corrupt", key=key)
+        if spec is not None:
+            corrupt_entry(path, spec.get("mode", "truncate"))
         return path
+
+    def evict(self, key):
+        """Drop a (corrupt) entry; the next probe for ``key`` misses."""
+        path = self.path_for(key)
+        try:
+            os.remove(path)
+            return True
+        except FileNotFoundError:
+            return False
+
+
+def corrupt_entry(path, mode="truncate"):
+    """Damage an on-disk entry (fault injection / corruption tests).
+
+    Modes mirror real failure shapes: "truncate" (full disk / killed
+    writer), "garbage" (bit rot over the frame header), "version" (a
+    structurally valid entry written by a different parser version --
+    checksum intact, so only the version check catches it).
+    """
+    if mode == "truncate":
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+    elif mode == "garbage":
+        with open(path, "r+b") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 16)
+    elif mode == "version":
+        with open(path, "rb") as handle:
+            data = handle.read()
+        payload = (
+            data[_FRAME_HEADER:]
+            if data[: len(FRAME_MAGIC)] == FRAME_MAGIC
+            else data
+        )
+        obj = pickle.loads(payload)
+        obj["parser_version"] = "0-skewed"
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(path, "wb") as handle:
+            handle.write(
+                FRAME_MAGIC + hashlib.sha256(payload).digest() + payload
+            )
+    else:
+        raise ValueError("unknown corruption mode: %r" % mode)
+    return path

@@ -82,6 +82,30 @@ def build_parser():
         help="persistent content-addressed AST cache: unchanged files are "
         "loaded instead of re-parsed on re-runs",
     )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="degrade instead of aborting: skip files whose pass 1 fails "
+        "and roots whose analysis crashes, recording each degradation "
+        "in the stats",
+    )
+    parser.add_argument(
+        "--worker-timeout", type=float, metavar="SECONDS",
+        help="declare a worker hung after SECONDS; its work is retried "
+        "once, then runs in-process",
+    )
+    parser.add_argument(
+        "--max-steps-per-root", type=int, metavar="N",
+        help="per-root step budget: a root exceeding it is abandoned "
+        "(partial reports kept) while the rest of the run continues",
+    )
+    parser.add_argument(
+        "--max-paths-per-root", type=int, metavar="N",
+        help="per-root completed-path budget (see --max-steps-per-root)",
+    )
+    parser.add_argument(
+        "--max-seconds-per-root", type=float, metavar="S",
+        help="per-root wall-clock budget (see --max-steps-per-root)",
+    )
     parser.add_argument("--stats", action="store_true",
                         help="print engine + driver stats")
     parser.add_argument(
@@ -160,8 +184,9 @@ def _make_project(args):
         name, __, value = item.partition("=")
         defines[name] = value or "1"
     project = Project(include_paths=args.include, defines=defines,
-                      cache_dir=args.cache_dir)
-    project.compile_files(args.files, jobs=args.jobs)
+                      cache_dir=args.cache_dir, keep_going=args.keep_going)
+    project.compile_files(args.files, jobs=args.jobs,
+                          worker_timeout=args.worker_timeout)
     return project
 
 
@@ -226,6 +251,10 @@ def _run(parser, args):
         caching=not args.no_caching,
         kills=not args.no_kills,
         synonyms=not args.no_synonyms,
+        max_steps_per_root=args.max_steps_per_root,
+        max_paths_per_root=args.max_paths_per_root,
+        max_seconds_per_root=args.max_seconds_per_root,
+        root_error_policy="degrade" if args.keep_going else "raise",
     )
 
     reports = []
@@ -238,7 +267,8 @@ def _run(parser, args):
                 _build_extensions, tuple(args.checker), tuple(metal_sources)
             )
             result = project.run(extensions, options, jobs=args.jobs,
-                                 extension_factory=factory)
+                                 extension_factory=factory,
+                                 worker_timeout=args.worker_timeout)
         else:
             analysis = project.analysis(options)
             result = analysis.run(extensions)
@@ -293,6 +323,14 @@ def _run(parser, args):
         reports = stratify(reports)
     elif args.rank == "statistical" and result is not None:
         reports = rank_by_rule_reliability(reports, result.log)
+
+    if result is not None and result.degraded:
+        # Engine-level degradations (abandoned roots) join the driver's
+        # own (workers, cache, units) so --stats/--stats-json enumerate
+        # everything the run survived.
+        project.stats.record_engine_degradations(result.degraded)
+        for entry in result.degraded:
+            print("xgcc: degraded: %s" % entry.describe(), file=sys.stderr)
 
     if args.format == "json":
         import json

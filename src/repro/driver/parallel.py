@@ -13,24 +13,141 @@ merges worker logs back into the *serial* report order using the per-root
 spans the engine records (:attr:`repro.engine.analysis.Analysis.root_spans`),
 so parallel runs produce the same reports in the same order.
 
-Extensions hold Python callables (checker actions are lambdas), which do
-not pickle; workers therefore rebuild them from an ``extension_factory``
--- any picklable zero-argument callable -- or from a pickle of the
-extension list when that happens to work.  When neither does, the run
-falls back to serial and says so in the driver stats.
+Both passes degrade instead of dying (docs/DRIVER.md, "Degradation
+semantics"):
+
+- A worker that crashes, is killed, or exceeds ``worker_timeout`` is
+  retried once in a fresh pool; if that also fails, its work order runs
+  in-process.  Every recovery is counted and recorded in the driver
+  stats' degradation list.
+- A corrupt cache entry (checksum mismatch, version skew, unreadable
+  pickle) is evicted and its file re-parsed rather than poisoning the
+  run.
+- Extensions hold Python callables (checker actions are lambdas), which
+  do not pickle; workers therefore rebuild them from an
+  ``extension_factory`` -- any picklable zero-argument callable -- or
+  from a pickle of the extension list when that happens to work.  When
+  neither does, the run falls back to serial, and the reason (the actual
+  pickling error, not a silent swallow) lands in the stats.
 """
 
 import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 
+from repro import faults
 from repro.driver import cache as astcache
 
 
 def _read_source(path):
     with open(path) as handle:
         return handle.read()
+
+
+# -- fault-tolerant pool scheduling -------------------------------------------
+
+
+def _pickle_error(obj):
+    """The exception pickling ``obj`` raises, or None when it ships."""
+    try:
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as err:
+        return err
+    return None
+
+
+def _shutdown_pool(pool, kill=False):
+    """Shut a pool down; ``kill`` terminates workers first (the only way
+    to reclaim a worker stuck in a hung task)."""
+    if kill:
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+    pool.shutdown(wait=not kill, cancel_futures=True)
+
+
+def run_tasks_with_recovery(tasks, worker, jobs, stats, label,
+                            timeout=None, keep_going=False):
+    """Run work orders over a process pool with crash/hang recovery.
+
+    Scheduling is one batch wave plus containment: the batch runs
+    everything at ``jobs`` width; a task whose worker died (or timed out
+    after ``timeout`` seconds) is retried once in its own fresh
+    single-worker pool, so a deterministic crasher cannot take anything
+    else down with it; a task that fails both times runs in-process.
+    One worker crash can still break the whole batch pool
+    (``BrokenProcessPool`` hits every in-flight future), so neighbouring
+    tasks may ride through the retry path as collateral -- they recover
+    in their isolated pools, and each failure's actual exception is
+    recorded in the stats degradation list.
+
+    Returns ``{task.index: result}``.  An in-process failure propagates,
+    unless ``keep_going`` is set, in which case the task's result is
+    None and a "unit" degradation is recorded.
+    """
+    results = {}
+    notes = {}
+    batch_failures = {}
+    timed_out = False
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+    try:
+        futures = [(task, pool.submit(worker, task)) for task in tasks]
+        for task, future in futures:
+            try:
+                results[task.index] = future.result(timeout=timeout)
+            except Exception as err:
+                timed_out = timed_out or isinstance(err, FutureTimeout)
+                batch_failures[task.index] = err
+    finally:
+        _shutdown_pool(pool, kill=timed_out)
+
+    pending = []
+    for task in tasks:
+        err = batch_failures.get(task.index)
+        if err is None:
+            continue
+        stats.add("%s_worker_failures" % label)
+        stats.add("%s_worker_retries" % label)
+        notes[task.index] = "%s task %s worker failed: %r" % (
+            label, task.index, err,
+        )
+        retry_pool = ProcessPoolExecutor(max_workers=1)
+        retry_timed_out = False
+        try:
+            results[task.index] = retry_pool.submit(worker, task).result(
+                timeout=timeout
+            )
+            notes[task.index] += "; recovered on retry"
+        except Exception as retry_err:
+            retry_timed_out = isinstance(retry_err, FutureTimeout)
+            stats.add("%s_worker_failures" % label)
+            notes[task.index] += "; retry failed: %r" % retry_err
+            pending.append(task)
+        finally:
+            _shutdown_pool(retry_pool, kill=retry_timed_out)
+
+    for task in pending:
+        stats.add("%s_inprocess_fallbacks" % label)
+        try:
+            results[task.index] = worker(task)
+            notes[task.index] += "; recovered in-process"
+        except Exception as err:
+            if not keep_going:
+                stats.record_degradation("worker", notes.pop(task.index))
+                raise
+            notes[task.index] += "; in-process run failed: %r" % err
+            stats.add("%s_tasks_skipped" % label)
+            stats.record_degradation(
+                "unit", "%s task %s skipped: %r" % (label, task.index, err)
+            )
+            results[task.index] = None
+    for index in sorted(notes):
+        stats.record_degradation("worker", notes[index])
+    return results
 
 
 # -- pass 1 -------------------------------------------------------------------
@@ -84,6 +201,7 @@ def pass1_worker(task):
     """
     from repro.cfront.preproc import Preprocessor
 
+    faults.at_worker_entry("pass1.worker", key=task.path)
     timings = {}
     read = task.file_reader or _read_source
     start = time.perf_counter()
@@ -110,6 +228,7 @@ def pass1_worker(task):
 
     from repro.cfront.parser import Parser
 
+    faults.check("pass1.parse", key=task.path)
     start = time.perf_counter()
     parser = Parser(None, task.path, tokens=tokens)
     unit = parser.parse_translation_unit()
@@ -137,7 +256,7 @@ def pass1_worker(task):
     )
 
 
-def compile_files_into(project, paths, jobs=1):
+def compile_files_into(project, paths, jobs=1, worker_timeout=None):
     """Run pass 1 for ``paths`` into ``project``; returns CompiledUnits."""
     paths = list(paths)
     tasks = [
@@ -148,36 +267,78 @@ def compile_files_into(project, paths, jobs=1):
         for index, path in enumerate(paths)
     ]
     stats = project.stats
+    keep_going = getattr(project, "keep_going", False)
     use_pool = bool(jobs and jobs > 1 and len(tasks) > 1)
-    if use_pool and not _picklable(tasks[0]):
-        stats.add("pass1_serial_fallback")
-        use_pool = False
+    if use_pool:
+        err = _pickle_error(tasks[0])
+        if err is not None:
+            stats.add("pass1_serial_fallback")
+            stats.record_degradation(
+                "pickle",
+                "pass-1 tasks do not pickle (%r); running serially" % err,
+            )
+            use_pool = False
     start = time.perf_counter()
     if use_pool:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            results = list(pool.map(pass1_worker, tasks))
+        results = run_tasks_with_recovery(
+            tasks, pass1_worker, jobs, stats, "pass1",
+            timeout=worker_timeout, keep_going=keep_going,
+        )
     else:
-        results = [pass1_worker(task) for task in tasks]
+        results = {}
+        for task in tasks:
+            try:
+                results[task.index] = pass1_worker(task)
+            except Exception as err:
+                if not keep_going:
+                    raise
+                stats.add("pass1_tasks_skipped")
+                stats.record_degradation(
+                    "unit",
+                    "%s failed pass 1 (%r); unit skipped" % (task.path, err),
+                )
+                results[task.index] = None
     stats.add_time("pass1_wall", time.perf_counter() - start)
 
     compiled = []
-    for result in sorted(results, key=lambda r: r.index):
-        compiled.append(_absorb(project, result))
+    for task in tasks:
+        result = results.get(task.index)
+        if result is None:
+            continue
+        compiled.append(_absorb(project, task, result))
     return compiled
 
 
-def _absorb(project, result):
-    """Register one worker result with the parent project (input order)."""
+def _absorb(project, task, result):
+    """Register one worker result with the parent project (input order).
+
+    Cache hits are verified here (checksum + parser version); a corrupt
+    entry is evicted, recorded as a degradation, and its file re-parsed
+    in-process -- a poisoned cache can slow a run down but never crash it
+    or alter its reports.
+    """
     from repro.driver.project import CompiledUnit
 
     stats = project.stats
     stats.count_worker_task(result.pid)
     stats.merge_timings(result.timings)
     if result.status == "hit":
+        try:
+            with open(result.cache_path, "rb") as handle:
+                data = handle.read()
+            unit, source_bytes = astcache.unpack(data)
+        except (OSError, astcache.CacheCorruption) as err:
+            stats.add("cache_evictions")
+            stats.record_degradation(
+                "cache",
+                "%s: corrupt cache entry (%s); evicted and re-parsed"
+                % (result.filename, err),
+            )
+            astcache.AstCache(task.cache_dir).evict(result.key)
+            # The entry is gone, so this re-run parses (and re-stores a
+            # good entry): recursion depth is bounded at one.
+            return _absorb(project, task, pass1_worker(task))
         stats.add("cache_hits")
-        with open(result.cache_path, "rb") as handle:
-            data = handle.read()
-        unit, source_bytes = astcache.unpack(data)
         compiled = CompiledUnit(
             result.filename, unit, source_bytes, len(data), from_cache=True
         )
@@ -194,14 +355,6 @@ def _absorb(project, result):
     return compiled
 
 
-def _picklable(obj):
-    try:
-        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception:
-        return False
-    return True
-
-
 # -- pass 2 -------------------------------------------------------------------
 
 
@@ -215,13 +368,29 @@ class ExtensionSpec:
         self.pickled = pickled
 
     @classmethod
-    def capture(cls, extensions, factory=None):
-        """Build a spec, or return None when nothing ships to workers."""
+    def capture(cls, extensions, factory=None, stats=None):
+        """Build a spec, or return None when nothing ships to workers
+        (recording the actual pickling failure in ``stats``)."""
         if factory is not None:
-            return cls(factory=factory) if _picklable(factory) else None
+            err = _pickle_error(factory)
+            if err is None:
+                return cls(factory=factory)
+            if stats is not None:
+                stats.record_degradation(
+                    "pickle",
+                    "extension_factory does not pickle (%r); "
+                    "running pass 2 serially" % err,
+                )
+            return None
         try:
             data = pickle.dumps(list(extensions), protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
+        except Exception as err:
+            if stats is not None:
+                stats.record_degradation(
+                    "pickle",
+                    "extensions do not pickle (%r) and no factory was "
+                    "given; running pass 2 serially" % err,
+                )
             return None
         return cls(pickled=data)
 
@@ -251,10 +420,10 @@ class Pass2Result:
     """A worker's mergeable analysis outcome."""
 
     __slots__ = ("index", "reports", "spans", "examples", "counterexamples",
-                 "stats", "timers", "truncated", "pid")
+                 "stats", "timers", "truncated", "degraded", "pid")
 
     def __init__(self, index, reports, spans, examples, counterexamples,
-                 stats, timers, truncated, pid):
+                 stats, timers, truncated, degraded, pid):
         self.index = index
         self.reports = reports
         self.spans = spans
@@ -263,6 +432,7 @@ class Pass2Result:
         self.stats = stats
         self.timers = timers
         self.truncated = truncated
+        self.degraded = degraded
         self.pid = pid
 
 
@@ -272,6 +442,8 @@ def pass2_worker(task):
     from repro.driver.stats import DriverStats
     from repro.engine.analysis import Analysis
 
+    faults.at_worker_entry("pass2.worker", key=task.index)
+    faults.check("pass2.analysis", key=task.index)
     graph = CallGraph()
     for decl in task.decls:
         graph.add_function(decl)
@@ -293,19 +465,22 @@ def pass2_worker(task):
         stats=result.stats,
         timers=stats.timers,
         truncated=result.truncated,
+        degraded=list(result.degraded),
         pid=os.getpid(),
     )
 
 
 def run_parallel(project, extensions, options=None, jobs=1,
-                 extension_factory=None):
+                 extension_factory=None, worker_timeout=None):
     """Pass-2 parallel scheduling over call-graph components.
 
     Deterministic by construction: the parent walks extensions in order
     and the *global* sorted root list (exactly the serial iteration
     order), appending each root's report span from whichever worker
     analyzed its component.  Falls back to a serial run when there is
-    nothing to parallelize or the extensions cannot be shipped.
+    nothing to parallelize or the extensions cannot be shipped; a
+    crashed, killed, or hung worker is retried once and then its
+    component is analyzed in-process (see run_tasks_with_recovery).
     """
     from repro.engine.analysis import AnalysisOptions
 
@@ -314,7 +489,7 @@ def run_parallel(project, extensions, options=None, jobs=1,
     stats = project.stats
     graph = project.callgraph
     components = graph.components()
-    spec = ExtensionSpec.capture(extensions, extension_factory)
+    spec = ExtensionSpec.capture(extensions, extension_factory, stats=stats)
     if spec is None:
         stats.add("pass2_serial_fallback")
     if spec is None or jobs <= 1 or len(components) <= 1 or not extensions:
@@ -334,9 +509,11 @@ def run_parallel(project, extensions, options=None, jobs=1,
     ]
     stats.add("pass2_components", len(tasks))
     start = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        results = list(pool.map(pass2_worker, tasks))
+    results_map = run_tasks_with_recovery(
+        tasks, pass2_worker, jobs, stats, "pass2", timeout=worker_timeout
+    )
     stats.add_time("pass2_wall", time.perf_counter() - start)
+    results = [results_map[index] for index in sorted(results_map)]
 
     return merge_results(project, extensions, results)
 
@@ -376,7 +553,10 @@ def merge_results(project, extensions, results):
             merged_stats[name] = merged_stats.get(name, 0) + value
     merged_stats["errors"] = len(log)
     truncated = any(result.truncated for result in results)
+    degraded = []
+    for result in results:
+        degraded.extend(result.degraded)
     # Block/suffix summary tables are per-worker (keyed on worker-local
     # block objects) and are not reassembled across processes; use a
     # serial run when Figure-5-style summary dumps are needed.
-    return AnalysisResult(log, {}, merged_stats, truncated)
+    return AnalysisResult(log, {}, merged_stats, truncated, degraded=degraded)

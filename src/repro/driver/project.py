@@ -57,13 +57,18 @@ class Project:
     """A source base under analysis."""
 
     def __init__(self, include_paths=(), defines=None, emit_dir=None,
-                 file_reader=None, cache_dir=None, stats=None):
+                 file_reader=None, cache_dir=None, stats=None,
+                 keep_going=False):
         self.include_paths = list(include_paths)
         self.defines = dict(defines or {})
         self.emit_dir = emit_dir
         #: Persistent content-addressed AST cache directory (incremental
         #: pass 1); None disables caching.
         self.cache_dir = cache_dir
+        #: CodeChecker-style per-TU recovery: when set, a file whose
+        #: pass 1 fails outright (after worker retries) is skipped and
+        #: recorded as a "unit" degradation instead of aborting the run.
+        self.keep_going = keep_going
         #: Optional override for reading #include targets (e.g. in-memory
         #: trees from the project generator); defaults to the filesystem.
         self.file_reader = file_reader
@@ -105,17 +110,22 @@ class Project:
         """Pass 1 for one on-disk file (cache-aware when cache_dir is set)."""
         return self.compile_files([path])[0]
 
-    def compile_files(self, paths, jobs=1):
+    def compile_files(self, paths, jobs=1, worker_timeout=None):
         """Pass 1 over a batch of files, in deterministic input order.
 
         ``jobs > 1`` fans preprocess/parse/emit out over a process pool;
         results are registered in ``paths`` order regardless of worker
         completion order, so serial and parallel runs build identical
         projects.  With ``cache_dir`` set, unchanged files are cache hits
-        (``load_emitted`` work) rather than re-parses.
+        (``load_emitted`` work) rather than re-parses; corrupt entries
+        are evicted and re-parsed.  A worker that dies (or outlives
+        ``worker_timeout`` seconds) is retried once, then its file is
+        compiled in-process.
         """
         from repro.driver.parallel import compile_files_into
-        return compile_files_into(self, paths, jobs=jobs)
+        return compile_files_into(
+            self, paths, jobs=jobs, worker_timeout=worker_timeout
+        )
 
     def load_emitted(self, path):
         """Pass 2 entry: reassemble a pass-1 AST file.
@@ -159,20 +169,24 @@ class Project:
             phase_timer=self.stats.phase,
         )
 
-    def run(self, extensions, options=None, jobs=1, extension_factory=None):
+    def run(self, extensions, options=None, jobs=1, extension_factory=None,
+            worker_timeout=None):
         """Apply extensions to the whole project.
 
         ``jobs > 1`` schedules independent call-graph components onto
         worker processes (same reports, same order as serial).  Workers
         rebuild the extension list from ``extension_factory`` -- a
         picklable zero-argument callable -- or by pickling ``extensions``
-        directly; when neither works the run falls back to serial.
+        directly; when neither works the run falls back to serial.  A
+        worker that dies (or outlives ``worker_timeout`` seconds) is
+        retried once, then its component is analyzed in-process.
         """
         if jobs and jobs > 1:
             from repro.driver.parallel import run_parallel
             return run_parallel(
                 self, extensions, options=options, jobs=jobs,
                 extension_factory=extension_factory,
+                worker_timeout=worker_timeout,
             )
         return self.analysis(options).run(extensions)
 

@@ -24,6 +24,11 @@ class DriverStats:
         self.counters = {}
         self.timers = {}  # phase name -> total seconds
         self.workers = {}  # pid -> tasks completed
+        #: Structured graceful-degradation records: every recovered
+        #: failure (worker crash, evicted cache entry, abandoned root,
+        #: skipped unit) leaves one entry here, so --stats-json
+        #: enumerates exactly what a run survived.
+        self.degradations = []
 
     # -- counters -----------------------------------------------------------
 
@@ -57,6 +62,32 @@ class DriverStats:
     def count_worker_task(self, pid, amount=1):
         self.workers[pid] = self.workers.get(pid, 0) + amount
 
+    # -- degradations -------------------------------------------------------
+
+    def record_degradation(self, kind, detail, **extra):
+        """Record one survived failure.
+
+        ``kind`` buckets the failure: "worker" (crashed/hung worker
+        recovered by retry or in-process fallback), "cache" (corrupt
+        entry evicted and re-parsed), "root" (engine abandoned one root),
+        "unit" (translation unit skipped under keep_going), "pickle"
+        (serial fallback because work would not ship to workers).
+        """
+        entry = {"kind": kind, "detail": detail}
+        entry.update(extra)
+        self.degradations.append(entry)
+        self.add("degraded_%s" % kind)
+        return entry
+
+    def record_engine_degradations(self, degraded):
+        """Fold an AnalysisResult's DegradedRoot list into this stats
+        object (kind "root"), for --stats / --stats-json surfacing."""
+        for entry in degraded or ():
+            self.record_degradation(
+                "root", entry.describe(), root=entry.root,
+                reason=entry.kind, reports_kept=entry.reports_kept,
+            )
+
     # -- output -------------------------------------------------------------
 
     def as_dict(self):
@@ -68,6 +99,7 @@ class DriverStats:
             "workers": {
                 str(pid): self.workers[pid] for pid in sorted(self.workers)
             },
+            "degradations": [dict(entry) for entry in self.degradations],
         }
 
     def dump_json(self, path, extra=None):
@@ -88,6 +120,11 @@ class DriverStats:
             lines.append("%s%s_s = %.4f" % (prefix, name, self.timers[name]))
         for pid in sorted(self.workers):
             lines.append("%sworker.%s_tasks = %d" % (prefix, pid, self.workers[pid]))
+        for index, entry in enumerate(self.degradations):
+            lines.append(
+                "%sdegraded.%d = %s: %s"
+                % (prefix, index, entry["kind"], entry["detail"])
+            )
         return lines
 
     def __repr__(self):

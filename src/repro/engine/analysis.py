@@ -7,8 +7,10 @@ sequential runs through the shared :class:`AnnotationStore`.
 """
 
 import sys
+import time
 from contextlib import nullcontext
 
+from repro import faults
 from repro.cfront import astnodes as ast
 from repro.cfg.blocks import ReturnMarker
 from repro.cfg.builder import build_cfg
@@ -60,6 +62,10 @@ class AnalysisOptions:
         by_value_params=False,
         restrict_partial_hits=False,
         max_steps=20_000_000,
+        max_steps_per_root=None,
+        max_paths_per_root=None,
+        max_seconds_per_root=None,
+        root_error_policy="raise",
     ):
         self.interprocedural = interprocedural
         self.false_path_pruning = false_path_pruning
@@ -76,20 +82,93 @@ class AnalysisOptions:
         # cached and uncached runs report identically.
         self.restrict_partial_hits = restrict_partial_hits
         self.max_steps = max_steps
+        # Per-root budgets (graceful degradation): when one blows, only
+        # the offending root is abandoned -- its partial reports stay in
+        # the log, a DegradedRoot lands in the result, and the remaining
+        # roots analyze normally.  None disables a budget.  The time
+        # budget is wall-clock and therefore machine-dependent; the step
+        # and path budgets are deterministic.
+        self.max_steps_per_root = max_steps_per_root
+        self.max_paths_per_root = max_paths_per_root
+        self.max_seconds_per_root = max_seconds_per_root
+        # What to do when a root raises an unexpected exception:
+        # "raise" propagates (the default -- bugs in checkers or the
+        # engine should be loud), "degrade" records a DegradedRoot and
+        # moves on to the next root (CLI --keep-going).
+        self.root_error_policy = root_error_policy
 
 
 class AnalysisBudgetExceeded(Exception):
-    """Raised internally when max_steps is hit; surfaced as truncation."""
+    """Raised internally when the global max_steps is hit; surfaced as
+    truncation (every remaining root is skipped)."""
+
+
+class RootBudgetExceeded(Exception):
+    """Raised internally when a *per-root* budget is hit; only the
+    current root is abandoned."""
+
+    def __init__(self, kind, detail=""):
+        super().__init__(kind, detail)
+        self.kind = kind  # "steps" | "paths" | "time" | "injected"
+        self.detail = detail
+
+
+class DegradedRoot:
+    """Structured record of one root the engine gave up on.
+
+    The run itself survives: reports already emitted for this root are
+    kept, and every other root is analyzed normally.  ``kind`` says why
+    ("steps" / "paths" / "time" for per-root budgets, "global-steps" for
+    the whole-run step ceiling, "error" for a recovered crash under
+    root_error_policy="degrade", "injected" for fault injection).
+    """
+
+    __slots__ = ("root", "extension", "kind", "detail", "reports_kept")
+
+    def __init__(self, root, extension, kind, detail="", reports_kept=0):
+        self.root = root
+        self.extension = extension
+        self.kind = kind
+        self.detail = detail
+        self.reports_kept = reports_kept
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def as_dict(self):
+        return {
+            "root": self.root,
+            "extension": self.extension,
+            "kind": self.kind,
+            "detail": self.detail,
+            "reports_kept": self.reports_kept,
+        }
+
+    def describe(self):
+        text = "root %s (%s): %s" % (self.root, self.extension, self.kind)
+        if self.detail:
+            text += " -- %s" % self.detail
+        return text
+
+    def __repr__(self):
+        return "<DegradedRoot %s>" % self.describe()
 
 
 class AnalysisResult:
     """The outcome of applying extensions to a source base."""
 
-    def __init__(self, log, tables, stats, truncated=False):
+    def __init__(self, log, tables, stats, truncated=False, degraded=None):
         self.log = log
         self.tables = tables  # extension name -> SummaryTable
         self.stats = stats
         self.truncated = truncated
+        #: :class:`DegradedRoot` entries -- roots abandoned mid-run while
+        #: the rest of the analysis completed (empty on a clean run).
+        self.degraded = list(degraded or [])
 
     @property
     def reports(self):
@@ -172,7 +251,10 @@ class Analysis:
             "function_cache_hits": 0,
             "calls_followed": 0,
             "errors": 0,
+            "degraded_roots": 0,
         }
+        #: DegradedRoot entries for roots abandoned mid-run.
+        self.degraded = []
         #: ``(extension_index, root, first_report, end_report)`` spans over
         #: ``self.log.reports``: which root produced which reports.  The
         #: parallel driver merges worker logs back into the serial report
@@ -189,6 +271,12 @@ class Analysis:
         self._truncated = False
         self._return_records = []
         self._current_block = None
+        # Per-root budget tracking.
+        self._current_root = None
+        self._root_start_steps = 0
+        self._root_start_paths = 0
+        self._root_deadline = None
+        self._faults_active = False
 
     # -- public API --------------------------------------------------------------
 
@@ -202,13 +290,17 @@ class Analysis:
                 self._ext_index = ext_index
                 tables[ext.name] = self.run_one(ext, roots=roots)
         self.stats["errors"] = len(self.log)
-        return AnalysisResult(self.log, tables, dict(self.stats), self._truncated)
+        return AnalysisResult(
+            self.log, tables, dict(self.stats), self._truncated,
+            degraded=list(self.degraded),
+        )
 
     def run_one(self, ext, roots=None):
         """Apply a single extension; returns its SummaryTable."""
         self._ext = ext
         self._table = SummaryTable()
         self._steps = 0
+        self._faults_active = faults.active()
         if roots is None:
             if self.options.interprocedural:
                 roots = self.callgraph.roots()
@@ -218,16 +310,47 @@ class Analysis:
             if root not in self.callgraph.functions:
                 continue
             start = len(self.log)
+            self._begin_root(root)
             try:
                 self._run_root(ext, root)
+            except RootBudgetExceeded as err:
+                # Per-root budget: abandon this root only, keep its
+                # partial reports, analyze the remaining roots.
+                self._record_degraded(root, err.kind, err.detail, start)
             except AnalysisBudgetExceeded:
                 self._truncated = True
-                self.root_spans.append(
-                    (self._ext_index, root, start, len(self.log))
+                self._record_degraded(
+                    root, "global-steps",
+                    "max_steps=%r exhausted; remaining roots skipped"
+                    % self.options.max_steps,
+                    start,
                 )
-                break
+            except Exception as err:
+                if self.options.root_error_policy != "degrade":
+                    raise
+                self._record_degraded(root, "error", repr(err), start)
             self.root_spans.append((self._ext_index, root, start, len(self.log)))
+            if self._truncated:
+                break
         return self._table
+
+    def _begin_root(self, root):
+        self._current_root = root
+        self._root_start_steps = self._steps
+        self._root_start_paths = self.stats["paths_completed"]
+        cap = self.options.max_seconds_per_root
+        self._root_deadline = None if cap is None else time.monotonic() + cap
+
+    def _record_degraded(self, root, kind, detail, start):
+        entry = DegradedRoot(
+            root=root,
+            extension=self._ext.name if self._ext is not None else None,
+            kind=kind,
+            detail=detail,
+            reports_kept=len(self.log) - start,
+        )
+        self.degraded.append(entry)
+        self.stats["degraded_roots"] += 1
 
     def run_on_function(self, ext, name):
         """Test helper: analyze one function as the only root."""
@@ -265,8 +388,31 @@ class Analysis:
         return fctx
 
     def _check_budget(self):
-        if self.options.max_steps is not None and self._steps > self.options.max_steps:
+        options = self.options
+        if options.max_steps is not None and self._steps > options.max_steps:
             raise AnalysisBudgetExceeded()
+        cap = options.max_steps_per_root
+        if cap is not None and self._steps - self._root_start_steps > cap:
+            raise RootBudgetExceeded(
+                "steps", "exceeded %d steps for this root" % cap
+            )
+        cap = options.max_paths_per_root
+        if cap is not None and (
+            self.stats["paths_completed"] - self._root_start_paths > cap
+        ):
+            raise RootBudgetExceeded(
+                "paths", "exceeded %d completed paths for this root" % cap
+            )
+        if self._root_deadline is not None and time.monotonic() > self._root_deadline:
+            raise RootBudgetExceeded(
+                "time",
+                "exceeded %gs wall clock for this root"
+                % options.max_seconds_per_root,
+            )
+        if self._faults_active and faults.fires(
+            "engine.budget", key=self._current_root
+        ):
+            raise RootBudgetExceeded("injected", "fault injection")
 
     # -- roots ----------------------------------------------------------------------
 

@@ -8,6 +8,7 @@ serial fallback for unshippable extensions, and the CLI flags.
 
 import json
 import os
+import random
 
 import pytest
 
@@ -285,6 +286,101 @@ class TestParallelAnalysis:
         )
         assert project.stats.count("pass2_components") == 0
         assert len(result.reports) == 1
+
+
+def ranked_report_lines(root, paths, jobs=1, cache_dir=None):
+    """One driver configuration end-to-end: the final ranked report text.
+
+    This is the full observable output surface -- ranking consumes report
+    order, severities, and the merged example/violation sites, so two
+    configurations that agree here agree everywhere a user can see.
+    """
+    project = Project(include_paths=[root], cache_dir=cache_dir)
+    project.compile_files(paths, jobs=jobs)
+    result = project.run(
+        default_checkers(), jobs=jobs, extension_factory=default_checkers
+    )
+    return [r.format() for r in stratify(result.reports)]
+
+
+class TestDifferentialHarness:
+    """Differential property test (docs/TESTING.md): for randomized
+    generated projects, every driver configuration -- serial, jobs=N,
+    cold cache, warm cache -- must produce byte-identical ranked
+    reports.  Seeds are drawn from a seeded PRNG so failures replay."""
+
+    SEEDS = sorted(random.Random(0xD1FF).sample(range(10_000), 4))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_modes_agree(self, tmp_path, seed):
+        root, paths = write_generated(
+            tmp_path, seed=seed, n_modules=2, functions_per_module=4,
+            cross_calls=bool(seed % 2),
+        )
+        cache = str(tmp_path / "cache")
+
+        serial = ranked_report_lines(root, paths)
+        assert ranked_report_lines(root, paths, jobs=2) == serial
+        assert ranked_report_lines(root, paths, cache_dir=cache) == serial
+        # Warm re-run: zero re-parses, still byte-identical.
+        warm = Project(include_paths=[root], cache_dir=cache)
+        warm.compile_files(paths, jobs=2)
+        assert warm.stats.count("parses") == 0
+        warm_result = warm.run(
+            default_checkers(), jobs=2, extension_factory=default_checkers
+        )
+        assert [r.format() for r in stratify(warm_result.reports)] == serial
+
+    def test_hypothesis_sweep_if_available(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        import shutil
+        import tempfile
+
+        from hypothesis import strategies as st
+
+        @hypothesis.settings(
+            max_examples=6, deadline=None, derandomize=True,
+            suppress_health_check=list(hypothesis.HealthCheck),
+        )
+        @hypothesis.given(
+            seed=st.integers(min_value=0, max_value=99_999),
+            n_modules=st.integers(min_value=1, max_value=3),
+            cross=st.booleans(),
+        )
+        def check(seed, n_modules, cross):
+            # tmp_path is function-scoped, which hypothesis forbids; use
+            # a throwaway directory per example instead.
+            workdir = tempfile.mkdtemp(prefix="xgcc-diff-")
+            try:
+                gen = generate_project(
+                    seed=seed, n_modules=n_modules, functions_per_module=3,
+                    cross_calls=cross,
+                )
+                for name, text in gen.files.items():
+                    with open(os.path.join(workdir, name), "w") as handle:
+                        handle.write(text)
+                paths = sorted(
+                    os.path.join(workdir, name)
+                    for name in gen.files
+                    if name.endswith(".c")
+                )
+                serial = ranked_report_lines(workdir, paths)
+                assert ranked_report_lines(workdir, paths, jobs=2) == serial
+                cache = os.path.join(workdir, "cache")
+                assert (
+                    ranked_report_lines(workdir, paths, cache_dir=cache)
+                    == serial
+                )
+                assert (
+                    ranked_report_lines(
+                        workdir, paths, jobs=2, cache_dir=cache
+                    )
+                    == serial
+                )
+            finally:
+                shutil.rmtree(workdir, ignore_errors=True)
+
+        check()
 
 
 class TestParallelCLI:
