@@ -1,0 +1,148 @@
+"""Incremental re-analysis benchmarks (docs/DRIVER.md).
+
+One series, dumped to ``BENCH_incremental.json``: on a generated
+~200-function project, pass-2 wall-clock and roots-analyzed for
+
+- a cold incremental run (empty summary store: full analysis + stores),
+- a warm no-edit run (every root replayed from tier-2 frames),
+- a warm run after one seeded function-body edit (only the edited
+  function's dirty cone re-analyzed).
+
+The shape assertions are the ISSUE acceptance criteria: warm-after-edit
+re-analyzes <25% of roots and every variant's reports are byte-identical
+to a cold reference run.
+"""
+
+import json
+import time
+
+from repro.checkers import free_checker, lock_checker
+from repro.codegen.project_gen import apply_function_edits, generate_project
+from repro.driver.project import Project
+from repro.driver.session import IncrementalSession, session_signature
+
+SUMMARY_PATH = "BENCH_incremental.json"
+_summary = {}
+
+
+def _dump_summary():
+    with open(SUMMARY_PATH, "w") as handle:
+        json.dump(_summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def bench_checkers():
+    return [free_checker(("kfree", "vfree")), lock_checker()]
+
+
+def materialize(tmp_path, generated, name):
+    root = tmp_path / name
+    root.mkdir(exist_ok=True)
+    for filename, text in generated.files.items():
+        (root / filename).write_text(text)
+    paths = sorted(
+        str(root / filename)
+        for filename in generated.files if filename.endswith(".c")
+    )
+    return str(root), paths
+
+
+def report_keys(result):
+    return [
+        (r.checker, r.message, r.location.filename, r.location.line,
+         r.location.column, r.function)
+        for r in result.reports
+    ]
+
+
+def timed_incremental_run(root, paths, cache_dir):
+    """(elapsed pass-2 seconds, result, stats counters) for one session
+    run over a freshly compiled project (pass 1 warm via the AST cache)."""
+    project = Project(include_paths=[root], cache_dir=cache_dir)
+    project.compile_files(paths)
+    session = IncrementalSession(
+        cache_dir, session_signature(checker_names=["free", "lock"])
+    )
+    start = time.perf_counter()
+    result = project.run(bench_checkers(), incremental=session)
+    return time.perf_counter() - start, result, dict(project.stats.counters)
+
+
+def test_incremental_cold_warm_edit(benchmark, tmp_path):
+    generated = generate_project(
+        seed=13, n_modules=5, functions_per_module=40, bug_rate=0.1
+    )
+    root, paths = materialize(tmp_path, generated, "proj")
+    cache_dir = str(tmp_path / "cache")
+
+    cold_s, cold_result, cold_counters = timed_incremental_run(
+        root, paths, cache_dir
+    )
+    warm_s, warm_result, warm_counters = timed_incremental_run(
+        root, paths, cache_dir
+    )
+
+    edited, edits = apply_function_edits(generated, k=1, seed=1)
+    root, paths = materialize(tmp_path, edited, "proj")
+    edit_s, edit_result, edit_counters = timed_incremental_run(
+        root, paths, cache_dir
+    )
+
+    # Byte-identity against a sessionless cold run over the edited tree.
+    reference = Project(include_paths=[root])
+    reference.compile_files(paths)
+    reference_result = reference.run(bench_checkers())
+    assert report_keys(edit_result) == report_keys(reference_result)
+    assert report_keys(cold_result) == report_keys(warm_result)
+
+    total_roots = len(reference.callgraph.roots())
+    total_functions = reference.total_functions()
+    rows = {
+        "total_functions": total_functions,
+        "total_roots": total_roots,
+        "edited_functions": len(edits),
+        "cold": {
+            "wall_s": round(cold_s, 4),
+            "roots_analyzed": cold_counters["incremental_roots_analyzed"],
+            "summary_stores": cold_counters["summary_stores"],
+        },
+        "warm_no_edit": {
+            "wall_s": round(warm_s, 4),
+            "roots_analyzed": warm_counters["incremental_roots_analyzed"],
+            "roots_replayed": warm_counters["incremental_roots_replayed"],
+            "summary_hits": warm_counters["summary_hits"],
+        },
+        "warm_one_edit": {
+            "wall_s": round(edit_s, 4),
+            "roots_analyzed": edit_counters["incremental_roots_analyzed"],
+            "roots_replayed": edit_counters["incremental_roots_replayed"],
+            "dirty_cone": edit_counters["incremental_dirty_cone"],
+        },
+        "speedup_warm_no_edit": round(cold_s / max(warm_s, 1e-9), 2),
+        "speedup_warm_one_edit": round(cold_s / max(edit_s, 1e-9), 2),
+    }
+    print("\nincremental pass 2, %d functions, %d roots:" % (
+        total_functions, total_roots))
+    print("  cold          %.3fs  %3d roots analyzed" % (
+        cold_s, rows["cold"]["roots_analyzed"]))
+    print("  warm no-edit  %.3fs  %3d analyzed / %d replayed  (x%.1f)" % (
+        warm_s, rows["warm_no_edit"]["roots_analyzed"],
+        rows["warm_no_edit"]["roots_replayed"],
+        rows["speedup_warm_no_edit"]))
+    print("  warm 1-edit   %.3fs  %3d analyzed / %d replayed  (x%.1f)" % (
+        edit_s, rows["warm_one_edit"]["roots_analyzed"],
+        rows["warm_one_edit"]["roots_replayed"],
+        rows["speedup_warm_one_edit"]))
+
+    assert total_functions >= 200
+    assert warm_counters["incremental_roots_analyzed"] == 0
+    assert edit_counters["incremental_roots_analyzed"] < 0.25 * total_roots
+    assert warm_s < cold_s
+    _summary["incremental"] = rows
+    _dump_summary()
+
+    small = generate_project(seed=3, n_modules=2, functions_per_module=6)
+    small_root, small_paths = materialize(tmp_path, small, "small")
+    small_cache = str(tmp_path / "small_cache")
+    timed_incremental_run(small_root, small_paths, small_cache)
+    benchmark(timed_incremental_run, small_root, small_paths, small_cache)

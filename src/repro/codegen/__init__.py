@@ -12,7 +12,9 @@ from repro.codegen.generator import (
     generate_kernel_module,
 )
 from repro.codegen.project_gen import (
+    FunctionEdit,
     GeneratedProject,
+    apply_function_edits,
     generate_project,
     score_project,
 )
@@ -22,7 +24,9 @@ __all__ = [
     "InjectedBug",
     "KernelWorkload",
     "generate_kernel_module",
+    "FunctionEdit",
     "GeneratedProject",
+    "apply_function_edits",
     "generate_project",
     "score_project",
     "diamond_function",

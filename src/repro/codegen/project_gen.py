@@ -1,9 +1,15 @@
 """Multi-module project generation: several translation units with a
 shared header, cross-file call chains, and file-scope statics -- the
 workload shape the §6 two-pass driver exists for.
+
+:func:`apply_function_edits` simulates a developer editing k function
+bodies (seeded, line-preserving), producing the before/after project
+pairs the incremental driver benchmarks and differential tests measure
+dirty-cone scheduling against.
 """
 
 import random
+import re
 
 from repro.codegen.generator import BUG_KINDS, InjectedBug, generate_kernel_module
 
@@ -120,6 +126,95 @@ def default_checkers():
         range_check_checker(),
         user_pointer_checker(),
     ]
+
+
+class FunctionEdit:
+    """Ground truth for one simulated edit: which function's body
+    changed, where, and how."""
+
+    __slots__ = ("filename", "function", "line", "before", "after")
+
+    def __init__(self, filename, function, line, before, after):
+        self.filename = filename
+        self.function = function
+        self.line = line  # 1-based line number in the file
+        self.before = before
+        self.after = after
+
+    def __repr__(self):
+        return "<FunctionEdit %s:%d %s: %r -> %r>" % (
+            self.filename, self.line, self.function, self.before, self.after,
+        )
+
+
+#: A generated definition opens at column 0 and its body closes with a
+#: bare "}" line (generator.py emits exactly this shape).
+_DEFINITION = re.compile(r"^int\s+(\w+)\s*\(.*\{\s*$")
+#: Standalone integer literals (not digits inside identifiers like m0_uses).
+_INT_LITERAL = re.compile(r"(?<![\w.])(\d+)(?![\w.])")
+
+
+def _editable_functions(files):
+    """``[(filename, function, line_index, line)]`` for every body line
+    holding an integer literal, in deterministic order."""
+    sites = {}
+    for filename in sorted(files):
+        if not filename.endswith(".c"):
+            continue
+        current = None
+        for index, line in enumerate(files[filename].splitlines()):
+            opened = _DEFINITION.match(line)
+            if opened:
+                current = opened.group(1)
+                continue
+            if line.strip() == "}":
+                current = None
+                continue
+            if current and _INT_LITERAL.search(line):
+                # Keep the first editable line per function: stable under
+                # repeated edit rounds.
+                sites.setdefault((filename, current), (index, line))
+    return [
+        (filename, function, index, line)
+        for (filename, function), (index, line) in sorted(sites.items())
+    ]
+
+
+def apply_function_edits(generated, k=1, seed=0):
+    """Simulate ``k`` seeded function-body edits.
+
+    Each edit bumps one standalone integer literal inside a function body
+    by 1 -- a real token-stream change, in place on its line, so the rest
+    of the file keeps its line numbers (edits must dirty exactly the
+    edited function's cone, not every function below it in the file).
+
+    Returns ``(edited GeneratedProject, [FunctionEdit])``.  The edit list
+    is the ground truth differential tests bound the dirty cone with.
+    """
+    rng = random.Random(seed)
+    sites = _editable_functions(generated.files)
+    if k > len(sites):
+        raise ValueError(
+            "asked for %d edits but only %d functions are editable"
+            % (k, len(sites))
+        )
+    chosen = rng.sample(sites, k)
+    files = dict(generated.files)
+    edits = []
+    for filename, function, index, line in sorted(chosen):
+        lines = files[filename].splitlines(True)
+        before = lines[index].rstrip("\n")
+        match = _INT_LITERAL.search(before)
+        after = (
+            before[: match.start()]
+            + str(int(match.group(1)) + 1)
+            + before[match.end():]
+        )
+        lines[index] = after + "\n"
+        files[filename] = "".join(lines)
+        edits.append(FunctionEdit(filename, function, index + 1, before, after))
+    edited = GeneratedProject(files, list(generated.bugs), generated.seed)
+    return edited, edits
 
 
 def score_project(generated, reports):

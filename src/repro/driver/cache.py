@@ -1,8 +1,8 @@
-"""The persistent, content-addressed AST cache behind incremental pass 1.
+"""The persistent, content-addressed two-tier cache behind incremental runs.
 
-The paper's pass 1 "compiles each file in isolation, emitting ASTs" (§6);
-those emitted files are re-runnable artifacts.  We key each one by what
-actually determines its contents:
+Tier 1 -- emitted ASTs.  The paper's pass 1 "compiles each file in
+isolation, emitting ASTs" (§6); those emitted files are re-runnable
+artifacts.  We key each one by what actually determines its contents:
 
     key = SHA-256( parser version
                  || filename
@@ -15,21 +15,30 @@ header invalidate every file that saw it, while whitespace/comment-only
 edits still hit.  A warm cache turns pass 1 into pure ``load_emitted``
 work: zero re-parses.
 
-Emitted payloads are pickles of a small dict wrapping the translation
-unit with its original source size, framed by a magic marker and a
-SHA-256 checksum of the pickle.  The checksum is verified on every read:
-a truncated, garbled, or version-skewed entry raises
+Tier 2 -- summary/report frames (:class:`SummaryCache`).  Pass 2's
+per-root outcomes (:class:`repro.engine.summaries.RootArtifact`) are
+persisted under the same directory, keyed by session signature plus the
+root's Merkle *function fingerprint*
+(:mod:`repro.cfg.fingerprint`), so a warm incremental run replays clean
+roots instead of re-traversing them (docs/DRIVER.md, "Incremental
+re-analysis").
+
+Both tiers share one frame format: a pickle preceded by a magic marker
+and a SHA-256 checksum of the pickle.  The checksum is verified on every
+read: a truncated, garbled, or version-skewed entry raises
 :class:`CacheCorruption` instead of crashing (or silently poisoning) the
-run, and the driver evicts it and re-parses (docs/DRIVER.md,
-"Degradation semantics").  Bare-unit pickles from older emit dirs still
-load -- they just have no checksum to verify.
+run, and the driver evicts it and re-derives the content (re-parse for
+tier 1, re-analyze for tier 2).  Bare-unit pickles from older emit dirs
+still load -- they just have no checksum to verify.
 """
 
 import hashlib
+import json
 import os
 import pickle
 
 from repro import faults
+from repro.engine.summaries import SUMMARY_VERSION
 
 #: Bump when parser/astnodes change shape: old cache entries stop matching.
 PARSER_VERSION = "1"
@@ -37,10 +46,18 @@ PARSER_VERSION = "1"
 #: Payload format marker for emitted .ast files.
 AST_FORMAT_VERSION = 2
 
+#: Payload format marker for summary (.sum) frames.
+SUMMARY_FORMAT_VERSION = 1
+
 #: Leading magic of a framed payload: marker + 32-byte SHA-256 of the
 #: pickle that follows.
 FRAME_MAGIC = b"XGCCAST\x02"
 _FRAME_HEADER = len(FRAME_MAGIC) + 32
+
+#: Frame magic for tier-2 summary frames (same layout, distinct marker so
+#: the tiers can never be confused for one another).
+SUMMARY_MAGIC = b"XGCCSUM\x01"
+_SUMMARY_HEADER = len(SUMMARY_MAGIC) + 32
 
 
 class CacheCorruption(Exception):
@@ -72,9 +89,35 @@ def cache_key(filename, tokens, include_paths=(), defines=None):
     return digest.hexdigest()
 
 
+def pack_frame(magic, payload_obj):
+    """Frame an arbitrary picklable payload: magic + SHA-256 + pickle."""
+    payload = pickle.dumps(payload_obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return magic + hashlib.sha256(payload).digest() + payload
+
+
+def unpack_frame(magic, data):
+    """The verified payload object of a frame written by
+    :func:`pack_frame`; raises :class:`CacheCorruption` on a wrong
+    marker, checksum mismatch, or unreadable pickle."""
+    header = len(magic) + 32
+    if data[: len(magic)] != magic:
+        raise CacheCorruption("bad frame magic (wrong tier or not a frame)")
+    digest = data[len(magic):header]
+    payload = data[header:]
+    if len(data) < header or hashlib.sha256(payload).digest() != digest:
+        raise CacheCorruption(
+            "checksum mismatch (truncated or garbled payload)"
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as err:
+        raise CacheCorruption("unreadable payload: %r" % err)
+
+
 def pack_unit(unit, source_bytes):
     """Serialize a translation unit into the emitted .ast payload."""
-    payload = pickle.dumps(
+    return pack_frame(
+        FRAME_MAGIC,
         {
             "format": AST_FORMAT_VERSION,
             "parser_version": PARSER_VERSION,
@@ -82,9 +125,7 @@ def pack_unit(unit, source_bytes):
             "source_bytes": source_bytes,
             "unit": unit,
         },
-        protocol=pickle.HIGHEST_PROTOCOL,
     )
-    return FRAME_MAGIC + hashlib.sha256(payload).digest() + payload
 
 
 def unpack(data):
@@ -95,18 +136,13 @@ def unpack(data):
     untrustworthy.  ``source_bytes`` is 0 for legacy bare-unit pickles.
     """
     if data[: len(FRAME_MAGIC)] == FRAME_MAGIC:
-        digest = data[len(FRAME_MAGIC):_FRAME_HEADER]
-        payload = data[_FRAME_HEADER:]
-        if len(data) < _FRAME_HEADER or hashlib.sha256(payload).digest() != digest:
-            raise CacheCorruption(
-                "checksum mismatch (truncated or garbled payload)"
-            )
+        obj = unpack_frame(FRAME_MAGIC, data)
     else:
-        payload = data  # legacy unframed pickle
-    try:
-        obj = pickle.loads(payload)
-    except Exception as err:
-        raise CacheCorruption("unreadable payload: %r" % err)
+        # legacy unframed pickle
+        try:
+            obj = pickle.loads(data)
+        except Exception as err:
+            raise CacheCorruption("unreadable payload: %r" % err)
     if isinstance(obj, dict) and "unit" in obj:
         version = obj.get("parser_version")
         if version != PARSER_VERSION:
@@ -172,6 +208,137 @@ class AstCache:
             return False
 
 
+def pack_artifact(artifact):
+    """Serialize one per-root outcome into a framed .sum payload."""
+    return pack_frame(
+        SUMMARY_MAGIC,
+        {
+            "format": SUMMARY_FORMAT_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "artifact": artifact,
+        },
+    )
+
+
+def unpack_artifact(data):
+    """The :class:`repro.engine.summaries.RootArtifact` of a framed .sum
+    payload; raises :class:`CacheCorruption` on anything untrustworthy,
+    including frames written by a different summary format or engine
+    summary version."""
+    obj = unpack_frame(SUMMARY_MAGIC, data)
+    if not isinstance(obj, dict) or "artifact" not in obj:
+        raise CacheCorruption("summary frame has no artifact")
+    if obj.get("format") != SUMMARY_FORMAT_VERSION:
+        raise CacheCorruption(
+            "summary format skew: entry says %r, this build is %r"
+            % (obj.get("format"), SUMMARY_FORMAT_VERSION)
+        )
+    if obj.get("summary_version") != SUMMARY_VERSION:
+        raise CacheCorruption(
+            "engine summary version skew: entry says %r, this build is %r"
+            % (obj.get("summary_version"), SUMMARY_VERSION)
+        )
+    return obj["artifact"]
+
+
+class SummaryCache:
+    """Tier 2: per-root summary/report frames plus the session manifest.
+
+    Frames are keyed by the session signature and the root's Merkle
+    fingerprint (the key is computed by the incremental session, see
+    :mod:`repro.driver.session`), so an entry can only ever be replayed
+    into a run whose extensions, options, and transitive callee cone all
+    match the run that produced it.
+    """
+
+    def __init__(self, root):
+        self.root = root
+
+    def path_for(self, key):
+        return os.path.join(self.root, key[:2], key + ".sum")
+
+    def lookup(self, key):
+        """The on-disk path for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        return path if os.path.exists(path) else None
+
+    def load(self, key):
+        """The cached :class:`RootArtifact` for ``key``.
+
+        Raises :class:`CacheCorruption` for untrustworthy entries.
+        """
+        with open(self.path_for(key), "rb") as handle:
+            data = handle.read()
+        return unpack_artifact(data)
+
+    def store(self, key, artifact):
+        """Atomically persist one per-root outcome."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "wb") as handle:
+            handle.write(pack_artifact(artifact))
+        os.replace(tmp, path)
+        spec = faults.fires("summary.corrupt", key=key)
+        if spec is not None:
+            corrupt_entry(path, spec.get("mode", "truncate"))
+        return path
+
+    def evict(self, key):
+        """Drop a (corrupt) entry; the next probe for ``key`` misses."""
+        path = self.path_for(key)
+        try:
+            os.remove(path)
+            return True
+        except FileNotFoundError:
+            return False
+
+    # -- session manifest -------------------------------------------------
+    #
+    # One JSON document per session signature recording the fingerprint of
+    # every function the last completed run saw.  Diffing the manifest
+    # against freshly computed fingerprints yields the dirty function set.
+
+    def manifest_path(self, signature):
+        return os.path.join(self.root, "manifest-%s.json" % signature[:32])
+
+    def load_manifest(self, signature):
+        """``{function: fingerprint}`` from the last run under this
+        signature, or None when absent/unreadable (a garbled manifest
+        degrades to a cold run, never a crash)."""
+        try:
+            with open(self.manifest_path(signature)) as handle:
+                obj = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(obj, dict)
+            or obj.get("format") != SUMMARY_FORMAT_VERSION
+            or obj.get("signature") != signature
+            or not isinstance(obj.get("fingerprints"), dict)
+        ):
+            return None
+        return obj["fingerprints"]
+
+    def store_manifest(self, signature, fingerprints):
+        """Atomically record the fingerprints of a completed run."""
+        path = self.manifest_path(signature)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w") as handle:
+            json.dump(
+                {
+                    "format": SUMMARY_FORMAT_VERSION,
+                    "signature": signature,
+                    "fingerprints": dict(fingerprints),
+                },
+                handle,
+                sort_keys=True,
+            )
+        os.replace(tmp, path)
+        return path
+
+
 def corrupt_entry(path, mode="truncate"):
     """Damage an on-disk entry (fault injection / corruption tests).
 
@@ -190,18 +357,19 @@ def corrupt_entry(path, mode="truncate"):
     elif mode == "version":
         with open(path, "rb") as handle:
             data = handle.read()
-        payload = (
-            data[_FRAME_HEADER:]
-            if data[: len(FRAME_MAGIC)] == FRAME_MAGIC
-            else data
-        )
+        if data[: len(SUMMARY_MAGIC)] == SUMMARY_MAGIC:
+            magic, payload = SUMMARY_MAGIC, data[_SUMMARY_HEADER:]
+        elif data[: len(FRAME_MAGIC)] == FRAME_MAGIC:
+            magic, payload = FRAME_MAGIC, data[_FRAME_HEADER:]
+        else:
+            magic, payload = FRAME_MAGIC, data
         obj = pickle.loads(payload)
-        obj["parser_version"] = "0-skewed"
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if magic == SUMMARY_MAGIC:
+            obj["summary_version"] = "0-skewed"
+        else:
+            obj["parser_version"] = "0-skewed"
         with open(path, "wb") as handle:
-            handle.write(
-                FRAME_MAGIC + hashlib.sha256(payload).digest() + payload
-            )
+            handle.write(pack_frame(magic, obj))
     else:
         raise ValueError("unknown corruption mode: %r" % mode)
     return path

@@ -83,6 +83,13 @@ def build_parser():
         "loaded instead of re-parsed on re-runs",
     )
     parser.add_argument(
+        "--incremental", action="store_true",
+        help="persist per-root summaries under --cache-dir and, on "
+        "re-runs, re-analyze only functions whose fingerprint changed "
+        "(plus their transitive callers); replayed reports are "
+        "byte-identical to a cold run",
+    )
+    parser.add_argument(
         "--keep-going", action="store_true",
         help="degrade instead of aborting: skip files whose pass 1 fails "
         "and roots whose analysis crashes, recording each degradation "
@@ -224,6 +231,13 @@ def _run(parser, args):
     if not args.files:
         parser.error("no input files")
 
+    if args.incremental and not args.cache_dir:
+        parser.error("--incremental requires --cache-dir")
+    if args.incremental and args.dump_summaries:
+        # Figure-5 summary dumps need the live per-block tables of a full
+        # serial run; replayed roots have none.
+        parser.error("--dump-summaries is incompatible with --incremental")
+
     if args.dump_cfg or args.dump_dot or args.dump_callgraph:
         return _dump_mode(args)
 
@@ -260,12 +274,28 @@ def _run(parser, args):
     reports = []
     result = None
     if extensions:
-        if args.jobs > 1 and not args.dump_summaries:
+        factory = functools.partial(
+            _build_extensions, tuple(args.checker), tuple(metal_sources)
+        )
+        if args.incremental:
+            from repro.driver.session import (
+                IncrementalSession,
+                session_signature,
+            )
+
+            signature = session_signature(
+                checker_names=args.checker,
+                metal_texts=[text for text, __ in metal_sources],
+                options=options,
+            )
+            session = IncrementalSession(args.cache_dir, signature)
+            result = project.run(extensions, options, jobs=args.jobs,
+                                 extension_factory=factory,
+                                 worker_timeout=args.worker_timeout,
+                                 incremental=session)
+        elif args.jobs > 1 and not args.dump_summaries:
             # Summary tables are worker-local; --dump-summaries forces the
             # serial path below.
-            factory = functools.partial(
-                _build_extensions, tuple(args.checker), tuple(metal_sources)
-            )
             result = project.run(extensions, options, jobs=args.jobs,
                                  extension_factory=factory,
                                  worker_timeout=args.worker_timeout)

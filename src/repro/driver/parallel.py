@@ -404,26 +404,32 @@ class ExtensionSpec:
 
 
 class Pass2Task:
-    """One call-graph component's analysis work order."""
+    """One call-graph component's analysis work order.
 
-    __slots__ = ("index", "decls", "static_vars", "options", "spec")
+    ``roots`` is None for a full run, or the sorted subset of this
+    component's roots the incremental scheduler wants re-analyzed.
+    """
 
-    def __init__(self, index, decls, static_vars, options, spec):
+    __slots__ = ("index", "decls", "static_vars", "options", "spec", "roots")
+
+    def __init__(self, index, decls, static_vars, options, spec, roots=None):
         self.index = index
         self.decls = decls
         self.static_vars = static_vars
         self.options = options
         self.spec = spec
+        self.roots = roots
 
 
 class Pass2Result:
     """A worker's mergeable analysis outcome."""
 
     __slots__ = ("index", "reports", "spans", "examples", "counterexamples",
-                 "stats", "timers", "truncated", "degraded", "pid")
+                 "stats", "timers", "truncated", "degraded", "artifacts",
+                 "coupled", "pid")
 
     def __init__(self, index, reports, spans, examples, counterexamples,
-                 stats, timers, truncated, degraded, pid):
+                 stats, timers, truncated, degraded, artifacts, coupled, pid):
         self.index = index
         self.reports = reports
         self.spans = spans
@@ -433,6 +439,8 @@ class Pass2Result:
         self.timers = timers
         self.truncated = truncated
         self.degraded = degraded
+        self.artifacts = artifacts
+        self.coupled = coupled
         self.pid = pid
 
 
@@ -455,7 +463,7 @@ def pass2_worker(task):
         static_vars=task.static_vars,
         phase_timer=stats.phase,
     )
-    result = analysis.run(task.spec.build())
+    result = analysis.run(task.spec.build(), roots=task.roots)
     return Pass2Result(
         index=task.index,
         reports=list(result.log.reports),
@@ -466,12 +474,14 @@ def pass2_worker(task):
         timers=stats.timers,
         truncated=result.truncated,
         degraded=list(result.degraded),
+        artifacts=list(result.root_artifacts),
+        coupled=result.coupled,
         pid=os.getpid(),
     )
 
 
 def run_parallel(project, extensions, options=None, jobs=1,
-                 extension_factory=None, worker_timeout=None):
+                 extension_factory=None, worker_timeout=None, roots=None):
     """Pass-2 parallel scheduling over call-graph components.
 
     Deterministic by construction: the parent walks extensions in order
@@ -481,6 +491,10 @@ def run_parallel(project, extensions, options=None, jobs=1,
     nothing to parallelize or the extensions cannot be shipped; a
     crashed, killed, or hung worker is retried once and then its
     component is analyzed in-process (see run_tasks_with_recovery).
+
+    ``roots`` restricts the run to a subset of roots (incremental
+    dirty-cone scheduling): components containing none of them are not
+    scheduled at all.
     """
     from repro.engine.analysis import AnalysisOptions
 
@@ -489,11 +503,17 @@ def run_parallel(project, extensions, options=None, jobs=1,
     stats = project.stats
     graph = project.callgraph
     components = graph.components()
+    if roots is not None:
+        wanted = set(roots)
+        components = [
+            component for component in components
+            if wanted.intersection(component)
+        ]
     spec = ExtensionSpec.capture(extensions, extension_factory, stats=stats)
     if spec is None:
         stats.add("pass2_serial_fallback")
     if spec is None or jobs <= 1 or len(components) <= 1 or not extensions:
-        return project.analysis(options).run(extensions)
+        return project.analysis(options).run(extensions, roots=roots)
 
     options = options or AnalysisOptions()
     static_vars = dict(project.static_vars)
@@ -504,6 +524,8 @@ def run_parallel(project, extensions, options=None, jobs=1,
             static_vars,
             options,
             spec,
+            roots=None if roots is None
+            else sorted(wanted.intersection(component)),
         )
         for index, component in enumerate(components)
     ]
@@ -556,7 +578,16 @@ def merge_results(project, extensions, results):
     degraded = []
     for result in results:
         degraded.extend(result.degraded)
+    # Per-root artifacts are independent by construction (root-scoped
+    # dedup), so concatenating worker captures in serial (extension,
+    # root) order reproduces exactly what a serial capture run records.
+    artifacts = sorted(
+        (artifact for result in results for artifact in result.artifacts),
+        key=lambda artifact: (artifact.ext_index, artifact.root),
+    )
+    coupled = any(result.coupled for result in results)
     # Block/suffix summary tables are per-worker (keyed on worker-local
     # block objects) and are not reassembled across processes; use a
     # serial run when Figure-5-style summary dumps are needed.
-    return AnalysisResult(log, {}, merged_stats, truncated, degraded=degraded)
+    return AnalysisResult(log, {}, merged_stats, truncated, degraded=degraded,
+                          root_artifacts=artifacts, coupled=coupled)

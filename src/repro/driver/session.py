@@ -1,0 +1,299 @@
+"""Incremental analysis sessions: re-analyze only the dirty cone.
+
+A session ties one project + extension set + option configuration to a
+persistent tier-2 summary store (:class:`repro.driver.cache.SummaryCache`)
+and schedules pass 2 around *function fingerprints*
+(:mod:`repro.cfg.fingerprint`):
+
+1. Fingerprint every function.  The fingerprint is a Merkle hash over
+   the function's emitted body tokens, its definition location, and its
+   direct callees' fingerprints -- so a root's fingerprint covers its
+   entire transitive callee cone.
+2. Diff against the manifest the previous run left behind.  A root whose
+   fingerprint is unchanged produced, by construction, the same
+   analysis outcome; everything else is the *dirty cone* (edited
+   functions plus their transitive callers).
+3. Re-analyze only the dirty roots (serial or parallel -- the component
+   scheduler skips untouched components entirely), capturing one
+   independent :class:`repro.engine.summaries.RootArtifact` per
+   (extension, root).
+4. Replay cached artifacts for the clean roots and freshly captured
+   ones for the dirty roots, in serial (extension, root) order, through
+   a fresh log -- reproducing a cold run's ranked report byte for byte.
+
+Safety valves (all recorded in the driver stats, never silent):
+
+- ``restrict_partial_hits`` makes caching change reports; the session
+  refuses and runs non-incrementally.
+- Extensions that leave cross-root state behind (AST annotations,
+  user globals) make per-root outcomes non-independent; detected after
+  the restricted run, triggering a full non-incremental re-run and no
+  persistence.
+- Truncated runs (global step budget) skip roots order-dependently;
+  same fallback.
+- Degraded roots (per-root budget blown, recovered error) are never
+  persisted, so they are re-analyzed on every run until they pass.
+- A corrupt summary frame is evicted and its root re-analyzed (same
+  self-heal contract as the tier-1 AST cache).
+"""
+
+import copy
+import hashlib
+import os
+
+from repro.cfg.fingerprint import fingerprint_tables
+from repro.driver import cache as astcache
+from repro.engine.analysis import AnalysisOptions, AnalysisResult
+from repro.engine.errors import ErrorLog
+from repro.engine.summaries import SUMMARY_VERSION
+
+#: AnalysisOptions fields excluded from the session signature:
+#: capture_root_artifacts is the session's own machinery, not a semantic
+#: switch of the run being cached.
+_NON_SEMANTIC_OPTIONS = frozenset(["capture_root_artifacts"])
+
+
+def session_signature(checker_names=(), metal_texts=(), options=None,
+                      extra=""):
+    """A stable identity for one analysis configuration.
+
+    Everything that changes what a run reports must land here: the
+    built-in checker names (in order), the full text of every metal
+    extension, every semantic analysis option, and the parser / summary
+    format versions.  Two runs share cached summaries only when their
+    signatures match.
+    """
+    digest = hashlib.sha256()
+    digest.update(astcache.PARSER_VERSION.encode())
+    digest.update(b"\x00")
+    digest.update(SUMMARY_VERSION.encode())
+    digest.update(b"\x00")
+    for name in checker_names:
+        digest.update(str(name).encode())
+        digest.update(b"\x1d")
+    digest.update(b"\x00")
+    for text in metal_texts:
+        digest.update(str(text).encode())
+        digest.update(b"\x1d")
+    digest.update(b"\x00")
+    for name, value in sorted(vars(options or AnalysisOptions()).items()):
+        if name in _NON_SEMANTIC_OPTIONS:
+            continue
+        digest.update(("%s=%r" % (name, value)).encode())
+        digest.update(b"\x1d")
+    digest.update(b"\x00")
+    digest.update(str(extra).encode())
+    return digest.hexdigest()
+
+
+def summary_key(signature, ext_index, ext_name, root, fingerprint):
+    """The tier-2 store key for one (extension, root) artifact."""
+    digest = hashlib.sha256()
+    for part in (signature, str(ext_index), str(ext_name), str(root),
+                 str(fingerprint)):
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class IncrementalSession:
+    """Summary-persistent incremental scheduling for one configuration.
+
+    Construct with the project's cache directory and a
+    :func:`session_signature`; pass as ``Project.run(...,
+    incremental=session)``.  Reusable across runs (the manifest and
+    frames live on disk, not in the object).
+    """
+
+    def __init__(self, cache_dir, signature, stats=None):
+        self.store = astcache.SummaryCache(
+            os.path.join(cache_dir, "summaries")
+        )
+        self.signature = signature
+        #: Optional DriverStats override; defaults to the project's.
+        self.stats = stats
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(self, project, extensions, options=None, jobs=1,
+            extension_factory=None, worker_timeout=None):
+        """Incremental pass 2: fingerprint, diff, re-analyze dirty roots,
+        replay the rest.  Returns an :class:`AnalysisResult` whose
+        reports (and ranking inputs) match a cold run byte for byte."""
+        if not isinstance(extensions, (list, tuple)):
+            extensions = [extensions]
+        options = options or AnalysisOptions()
+        stats = self.stats or project.stats
+
+        if options.restrict_partial_hits:
+            return self._fallback(
+                project, extensions, options, jobs, extension_factory,
+                worker_timeout, stats,
+                "restrict_partial_hits changes reports under caching",
+            )
+
+        graph = project.callgraph
+        local, fingerprints = fingerprint_tables(graph)
+        all_roots = (
+            graph.roots() if options.interprocedural
+            else sorted(graph.functions)
+        )
+
+        manifest = self.store.load_manifest(self.signature)
+        if manifest is None:
+            stats.add("incremental_cold_runs")
+            edited = set(fingerprints)
+            cone = set(fingerprints)
+        else:
+            edited = {
+                name for name, token_hash in local.items()
+                if (manifest.get(name) or (None, None))[0] != token_hash
+            }
+            cone = {
+                name for name, fingerprint in fingerprints.items()
+                if (manifest.get(name) or (None, None))[1] != fingerprint
+            }
+        stats.add("incremental_dirty_functions", len(edited))
+        stats.add("incremental_dirty_cone", len(cone))
+
+        reanalyze = set(root for root in all_roots if root in cone)
+        cached = self._load_clean_artifacts(
+            extensions, (root for root in all_roots if root not in cone),
+            fingerprints, reanalyze, stats,
+        )
+
+        analyze_roots = sorted(reanalyze)
+        stats.add("incremental_roots_analyzed", len(analyze_roots))
+        stats.add(
+            "incremental_roots_replayed",
+            len(all_roots) - len(analyze_roots),
+        )
+        run_options = copy.copy(options)
+        run_options.capture_root_artifacts = True
+        fresh = project.run(
+            extensions, run_options, jobs=jobs,
+            extension_factory=extension_factory,
+            worker_timeout=worker_timeout, roots=analyze_roots,
+        )
+
+        if fresh.coupled:
+            return self._fallback(
+                project, extensions, options, jobs, extension_factory,
+                worker_timeout, stats,
+                "extensions left cross-root state (annotations or user "
+                "globals); per-root artifacts are not independent",
+            )
+        if fresh.truncated:
+            return self._fallback(
+                project, extensions, options, jobs, extension_factory,
+                worker_timeout, stats,
+                "global step budget exhausted; root skipping is "
+                "order-dependent",
+            )
+
+        result = self._merge(extensions, all_roots, fresh, cached)
+        self._persist(fresh, fingerprints, local, stats)
+        return result
+
+    # -- pieces ------------------------------------------------------------
+
+    def _fallback(self, project, extensions, options, jobs,
+                  extension_factory, worker_timeout, stats, why):
+        """Run non-incrementally (and persist nothing), loudly."""
+        stats.add("incremental_fallbacks")
+        stats.record_degradation(
+            "incremental", "%s; re-ran non-incrementally" % why
+        )
+        return project.run(
+            extensions, options, jobs=jobs,
+            extension_factory=extension_factory,
+            worker_timeout=worker_timeout,
+        )
+
+    def _load_clean_artifacts(self, extensions, clean_roots, fingerprints,
+                              reanalyze, stats):
+        """``{(ext_index, root): RootArtifact}`` for every clean root all
+        of whose frames load; roots with any missing or corrupt frame are
+        moved into ``reanalyze`` instead."""
+        cached = {}
+        for root in clean_roots:
+            loaded = []
+            for ext_index, ext in enumerate(extensions):
+                name = getattr(ext, "name", repr(ext))
+                key = summary_key(
+                    self.signature, ext_index, name, root,
+                    fingerprints[root],
+                )
+                try:
+                    if self.store.lookup(key) is None:
+                        stats.add("summary_misses")
+                        loaded = None
+                        break
+                    loaded.append((ext_index, self.store.load(key)))
+                except (OSError, astcache.CacheCorruption) as err:
+                    stats.add("summary_evictions")
+                    stats.record_degradation(
+                        "summary-cache",
+                        "%s/%s: corrupt summary frame (%s); evicted and "
+                        "re-analyzed" % (name, root, err),
+                    )
+                    self.store.evict(key)
+                    loaded = None
+                    break
+            if loaded is None:
+                reanalyze.add(root)
+            else:
+                stats.add("summary_hits", len(loaded))
+                for ext_index, artifact in loaded:
+                    cached[(ext_index, root)] = artifact
+        return cached
+
+    def _merge(self, extensions, all_roots, fresh, cached):
+        """Replay fresh + cached artifacts in serial (extension, root)
+        order through one log: global dedup re-applies at exactly the
+        points a cold serial run would apply it."""
+        produced = {
+            (artifact.ext_index, artifact.root): artifact
+            for artifact in fresh.root_artifacts
+        }
+        log = ErrorLog()
+        degraded = []
+        for ext_index in range(len(extensions)):
+            for root in all_roots:
+                artifact = produced.get((ext_index, root))
+                if artifact is None:
+                    artifact = cached.get((ext_index, root))
+                if artifact is None:
+                    continue
+                artifact.replay_into(log)
+                degraded.extend(artifact.degraded)
+        merged_stats = dict(fresh.stats)
+        merged_stats["errors"] = len(log)
+        return AnalysisResult(
+            log, fresh.tables, merged_stats, truncated=False,
+            degraded=degraded,
+        )
+
+    def _persist(self, fresh, fingerprints, local, stats):
+        """Store every clean fresh artifact plus the new manifest."""
+        for artifact in fresh.root_artifacts:
+            if not artifact.clean:
+                continue
+            fingerprint = fingerprints.get(artifact.root)
+            if fingerprint is None:
+                continue
+            if artifact.summary is not None:
+                artifact.summary.fingerprint = fingerprint
+            key = summary_key(
+                self.signature, artifact.ext_index, artifact.extension,
+                artifact.root, fingerprint,
+            )
+            self.store.store(key, artifact)
+            stats.add("summary_stores")
+        self.store.store_manifest(
+            self.signature,
+            {
+                name: [local[name], fingerprints[name]]
+                for name in fingerprints
+            },
+        )

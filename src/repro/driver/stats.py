@@ -16,6 +16,12 @@ import json
 import time
 from contextlib import contextmanager
 
+#: Version of the --stats-json document shape (docs/DRIVER.md, "Stats
+#: schema").  Bump whenever a top-level key is added, removed, or changes
+#: meaning, so downstream consumers (benchmarks, CI lanes) can detect
+#: skew instead of misreading.
+SCHEMA_VERSION = 2
+
 
 class DriverStats:
     """Counters + phase timers + per-worker task counts for one driver run."""
@@ -92,6 +98,7 @@ class DriverStats:
 
     def as_dict(self):
         return {
+            "schema_version": SCHEMA_VERSION,
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "timers_s": {
                 k: round(self.timers[k], 6) for k in sorted(self.timers)

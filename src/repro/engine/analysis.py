@@ -37,6 +37,8 @@ from repro.engine.state import SMInstance, VarInstance, state_tuples
 from repro.engine.summaries import (
     TRANSITION,
     Edge,
+    FunctionSummary,
+    RootArtifact,
     SummaryTable,
     make_add_edge,
     make_transition_edge,
@@ -66,6 +68,7 @@ class AnalysisOptions:
         max_paths_per_root=None,
         max_seconds_per_root=None,
         root_error_policy="raise",
+        capture_root_artifacts=False,
     ):
         self.interprocedural = interprocedural
         self.false_path_pruning = false_path_pruning
@@ -96,6 +99,14 @@ class AnalysisOptions:
         # engine should be loud), "degrade" records a DegradedRoot and
         # moves on to the next root (CLI --keep-going).
         self.root_error_policy = root_error_policy
+        # Incremental capture (docs/DRIVER.md): record one serializable
+        # RootArtifact per (extension, root) with *root-scoped*
+        # deduplication, so each root's contribution is independent of
+        # which other roots ran.  The raw log then contains cross-root
+        # duplicates; consumers rebuild the final log by replaying the
+        # artifacts in serial order (the driver's incremental session and
+        # the parallel merge both do).
+        self.capture_root_artifacts = capture_root_artifacts
 
 
 class AnalysisBudgetExceeded(Exception):
@@ -161,7 +172,8 @@ class DegradedRoot:
 class AnalysisResult:
     """The outcome of applying extensions to a source base."""
 
-    def __init__(self, log, tables, stats, truncated=False, degraded=None):
+    def __init__(self, log, tables, stats, truncated=False, degraded=None,
+                 root_artifacts=None, coupled=False):
         self.log = log
         self.tables = tables  # extension name -> SummaryTable
         self.stats = stats
@@ -169,6 +181,13 @@ class AnalysisResult:
         #: :class:`DegradedRoot` entries -- roots abandoned mid-run while
         #: the rest of the analysis completed (empty on a clean run).
         self.degraded = list(degraded or [])
+        #: Per-(extension, root) :class:`RootArtifact` records, captured
+        #: only under ``AnalysisOptions.capture_root_artifacts``.
+        self.root_artifacts = list(root_artifacts or [])
+        #: Did the run leave cross-root state behind (AST annotations or
+        #: extension user globals)?  When True, per-root artifacts are
+        #: not independent and must not be reused incrementally.
+        self.coupled = coupled
 
     @property
     def reports(self):
@@ -260,6 +279,9 @@ class Analysis:
         #: parallel driver merges worker logs back into the serial report
         #: order with these.
         self.root_spans = []
+        #: :class:`repro.engine.summaries.RootArtifact` records, one per
+        #: (extension, root), when options.capture_root_artifacts is set.
+        self.root_artifacts = []
         self._phase_timer = phase_timer
         self._ext_index = 0
         # Per-run state.
@@ -293,7 +315,22 @@ class Analysis:
         return AnalysisResult(
             self.log, tables, dict(self.stats), self._truncated,
             degraded=list(self.degraded),
+            root_artifacts=list(self.root_artifacts),
+            coupled=self.coupled_state(),
         )
+
+    def coupled_state(self):
+        """Did extensions leave cross-root state behind?
+
+        AST annotations (§3.2 composition) and extension user globals are
+        shared across roots: a root analyzed later can observe what an
+        earlier root's traversal wrote, so per-root outcomes are not
+        independent functions of the root's callee cone.  The incremental
+        driver refuses to persist or reuse artifacts from coupled runs.
+        """
+        if len(self.annotations):
+            return True
+        return any(bool(values) for values in self._user_globals.values())
 
     def run_one(self, ext, roots=None):
         """Apply a single extension; returns its SummaryTable."""
@@ -306,10 +343,14 @@ class Analysis:
                 roots = self.callgraph.roots()
             else:
                 roots = sorted(self.callgraph.functions)
+        capture = self.options.capture_root_artifacts
         for root in roots:
             if root not in self.callgraph.functions:
                 continue
             start = len(self.log)
+            degraded_before = len(self.degraded)
+            if capture:
+                self.log.push_scope()
             self._begin_root(root)
             try:
                 self._run_root(ext, root)
@@ -330,9 +371,31 @@ class Analysis:
                     raise
                 self._record_degraded(root, "error", repr(err), start)
             self.root_spans.append((self._ext_index, root, start, len(self.log)))
+            if capture:
+                self._capture_artifact(ext, root, start, degraded_before)
             if self._truncated:
                 break
         return self._table
+
+    def _capture_artifact(self, ext, root, start, degraded_before):
+        examples, counterexamples = self.log.pop_scope()
+        degraded = self.degraded[degraded_before:]
+        summary = None
+        if root in self._cfgs:
+            summary = FunctionSummary.snapshot(
+                root, ext.name, None, self._table.get(self._cfgs[root].entry)
+            )
+        self.root_artifacts.append(RootArtifact(
+            ext_index=self._ext_index,
+            extension=ext.name,
+            root=root,
+            reports=self.log.reports[start:len(self.log)],
+            examples=examples,
+            counterexamples=counterexamples,
+            degraded=degraded,
+            clean=not degraded and not self._truncated,
+            summary=summary,
+        ))
 
     def _begin_root(self, root):
         self._current_root = root

@@ -117,6 +117,35 @@ class ErrorLog:
         # rule_id -> set of example sites / counterexample sites.
         self.examples = {}
         self.counterexamples = {}
+        self._scopes = []
+
+    def push_scope(self):
+        """Open a root-local capture scope (incremental artifact capture).
+
+        Deduplication and example/counterexample accounting restart from
+        empty, so everything recorded until :meth:`pop_scope` is exactly
+        one root's *independent* contribution -- reports another root
+        already produced are recorded again rather than suppressed.  The
+        final log is rebuilt by replaying the per-root contributions in
+        serial order through a fresh log, which re-applies global
+        deduplication at exactly the points a plain serial run would.
+        """
+        self._scopes.append((self._seen, self.examples, self.counterexamples))
+        self._seen = set()
+        self.examples = {}
+        self.counterexamples = {}
+
+    def pop_scope(self):
+        """Close the innermost scope; returns ``(examples_delta,
+        counterexamples_delta)`` and folds them back into the outer
+        accounting (so whole-log totals stay correct)."""
+        examples_delta, counterexamples_delta = self.examples, self.counterexamples
+        self._seen, self.examples, self.counterexamples = self._scopes.pop()
+        for rule_id, sites in examples_delta.items():
+            self.examples.setdefault(rule_id, set()).update(sites)
+        for rule_id, sites in counterexamples_delta.items():
+            self.counterexamples.setdefault(rule_id, set()).update(sites)
+        return examples_delta, counterexamples_delta
 
     def add(self, report):
         key = report.identity()

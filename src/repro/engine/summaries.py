@@ -23,6 +23,12 @@ from repro.engine.state import UNKNOWN, describe_tuple
 TRANSITION = "transition"
 ADD = "add"
 
+#: Version of the persisted summary/artifact format.  Bump whenever the
+#: engine's observable behaviour changes (report fields, traversal
+#: semantics, edge encoding): persisted frames from other versions stop
+#: matching and are re-derived.
+SUMMARY_VERSION = "1"
+
 
 class Edge:
     """One summary edge.
@@ -266,3 +272,126 @@ def _add_suffix(summary, edge, local_filter):
     if local_filter is not None and local_filter(edge):
         return False
     return summary.suffix.add(edge)
+
+
+# -- persistent, content-addressable summaries ---------------------------------
+
+
+class FunctionSummary:
+    """A function summary detached from live engine state (§6.2 as data).
+
+    :class:`SummaryTable` keys summaries by in-memory block identity,
+    which dies with the run.  A ``FunctionSummary`` snapshots the entry
+    block's suffix summary -- the paper's function summary -- into plain
+    edge records keyed by state tuples, so it pickles, round-trips
+    through the driver's summary store, and can be compared across runs.
+    """
+
+    __slots__ = ("function", "extension", "fingerprint", "edges")
+
+    def __init__(self, function, extension, fingerprint, edges):
+        self.function = function
+        self.extension = extension
+        self.fingerprint = fingerprint
+        self.edges = list(edges)  # (kind, start, end, snapshot, relax_only)
+
+    @classmethod
+    def snapshot(cls, function, extension, fingerprint, entry_summary):
+        """Freeze a live entry-block :class:`BlockSummary`'s suffix."""
+        edges = [
+            (
+                edge.kind,
+                edge.start,
+                edge.end,
+                edge.end_snapshot.copy() if edge.end_snapshot is not None
+                else None,
+                edge.relax_only,
+            )
+            for edge in entry_summary.suffix
+        ]
+        edges.sort(key=lambda item: (item[0], repr(item[1]), repr(item[2])))
+        return cls(function, extension, fingerprint, edges)
+
+    def edge_set(self):
+        """Rebuild a live :class:`EdgeSet` from the frozen records."""
+        edges = EdgeSet()
+        for kind, start, end, snapshot, relax_only in self.edges:
+            edges.add(Edge(kind, start, end, snapshot, relax_only=relax_only))
+        return edges
+
+    def __getstate__(self):
+        return {
+            "function": self.function,
+            "extension": self.extension,
+            "fingerprint": self.fingerprint,
+            "edges": self.edges,
+        }
+
+    def __setstate__(self, state):
+        for name in self.__slots__:
+            setattr(self, name, state[name])
+
+    def __len__(self):
+        return len(self.edges)
+
+    def __repr__(self):
+        return "<FunctionSummary %s/%s %d edges>" % (
+            self.extension, self.function, len(self.edges),
+        )
+
+
+class RootArtifact:
+    """One root's complete, self-contained analysis outcome under one
+    extension: the persistence unit of incremental re-analysis.
+
+    Captured with root-scoped deduplication
+    (:meth:`repro.engine.errors.ErrorLog.push_scope`), so the recorded
+    reports and example/counterexample sites are this root's independent
+    contribution -- replaying every root's artifact in serial order
+    through a fresh log reproduces a cold run's output byte for byte,
+    no matter which subset of roots was actually re-analyzed.
+
+    ``clean`` is False when the root was degraded (budget blown, error
+    recovered) -- degraded outcomes depend on budgets and wall clock, so
+    the driver never persists them.
+    """
+
+    __slots__ = ("ext_index", "extension", "root", "reports", "examples",
+                 "counterexamples", "degraded", "clean", "summary")
+
+    def __init__(self, ext_index, extension, root, reports, examples,
+                 counterexamples, degraded, clean, summary=None):
+        self.ext_index = ext_index
+        self.extension = extension
+        self.root = root
+        self.reports = list(reports)
+        self.examples = {k: set(v) for k, v in examples.items()}
+        self.counterexamples = {k: set(v) for k, v in counterexamples.items()}
+        self.degraded = list(degraded)
+        self.clean = clean
+        #: Optional :class:`FunctionSummary` snapshot of the root's own
+        #: function summary at the end of its traversal.
+        self.summary = summary
+
+    def replay_into(self, log):
+        """Append this root's contribution to a merge log (dedup applies
+        at the merge, exactly as a serial run would apply it)."""
+        for report in self.reports:
+            log.add(report)
+        for rule_id, sites in self.examples.items():
+            log.examples.setdefault(rule_id, set()).update(sites)
+        for rule_id, sites in self.counterexamples.items():
+            log.counterexamples.setdefault(rule_id, set()).update(sites)
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def __repr__(self):
+        return "<RootArtifact %s/%s %d reports%s>" % (
+            self.extension, self.root, len(self.reports),
+            "" if self.clean else " (degraded)",
+        )

@@ -5,14 +5,22 @@ processes get OOM-killed mid-component, full disks truncate cache
 entries, and pathological translation units blow every analysis budget.
 The recovery machinery for all of that (docs/DRIVER.md, "Degradation
 semantics") is only trustworthy if it can be exercised on demand, so this
-module lets tests force those failures at instrumented points in the
+package lets tests force those failures at instrumented points in the
 engine and driver.
+
+The package is split in two (with everything re-exported here):
+
+- :mod:`repro.faults.plan` -- the plan model: spec validation,
+  install/clear, cross-process counter state, env propagation;
+- :mod:`repro.faults.inject` -- the injection points the engine and
+  driver call (:func:`fires`, :func:`check`, :func:`at_worker_entry`).
 
 A fault *plan* is a list of spec dicts::
 
     faults.install([
         {"site": "pass2.worker.kill", "key": 0, "times": 1},
         {"site": "cache.corrupt", "mode": "garbage", "times": 1},
+        {"site": "summary.corrupt", "mode": "truncate", "times": 1},
         {"site": "engine.budget", "key": "hot_root"},
         {"site": "pass1.parse", "key": "/src/ioctl.c", "probability": 0.5},
     ])
@@ -28,7 +36,8 @@ site                        fires where                    key
 ``pass2.worker.kill``       pass-2 worker entry (exits)    component index
 ``pass2.worker.hang``       pass-2 worker entry (sleeps)   component index
 ``pass2.analysis``          before the DFS (raises)        component index
-``cache.corrupt``           after a cache store (damages)  cache key
+``cache.corrupt``           after an AST-cache store       cache key
+``summary.corrupt``         after a summary-frame store    summary key
 ``engine.budget``           every budget check (raises)    root function
 ==========================  =============================  ==================
 
@@ -50,193 +59,32 @@ The ``*.kill`` and ``*.hang`` sites are applied through
 an in-process fallback run can never kill or hang the driver itself.
 """
 
-import hashlib
-import json
-import os
-import shutil
-import tempfile
-import time
+from repro.faults.inject import (
+    InjectedFault,
+    at_worker_entry,
+    check,
+    fires,
+)
+from repro.faults.plan import (
+    ENV_VAR,
+    FaultPlan,
+    active,
+    clear,
+    in_worker,
+    injected,
+    install,
+)
 
-#: Environment variable carrying the active plan to worker processes.
-ENV_VAR = "XGCC_FAULTS"
-
-_SITES = frozenset([
-    "pass1.worker.kill", "pass1.worker.hang", "pass1.parse",
-    "pass2.worker.kill", "pass2.worker.hang", "pass2.analysis",
-    "cache.corrupt", "engine.budget",
-])
-
-
-class InjectedFault(Exception):
-    """Raised at ``raise``-style injection sites (``pass1.parse``,
-    ``pass2.analysis``)."""
-
-
-class FaultPlan:
-    """An installed set of fault specs plus the shared counter state."""
-
-    def __init__(self, specs, seed=0, state_dir=None, installer_pid=None):
-        self.specs = [dict(spec) for spec in specs]
-        for spec in self.specs:
-            if spec.get("site") not in _SITES:
-                raise ValueError("unknown fault site: %r" % spec.get("site"))
-        self.seed = seed
-        self.state_dir = state_dir
-        self.installer_pid = installer_pid if installer_pid else os.getpid()
-        self._local_counts = {}
-
-    def to_json(self):
-        return json.dumps({
-            "specs": self.specs,
-            "seed": self.seed,
-            "state_dir": self.state_dir,
-            "installer_pid": self.installer_pid,
-        })
-
-    @classmethod
-    def from_json(cls, blob):
-        data = json.loads(blob)
-        return cls(data["specs"], data["seed"], data["state_dir"],
-                   data["installer_pid"])
-
-
-_PLAN = None
-
-
-def install(specs, seed=0):
-    """Install a plan process-wide and export it to worker processes."""
-    global _PLAN
-    state_dir = tempfile.mkdtemp(prefix="xgcc-faults-")
-    _PLAN = FaultPlan(specs, seed=seed, state_dir=state_dir)
-    os.environ[ENV_VAR] = _PLAN.to_json()
-    return _PLAN
-
-
-def clear():
-    """Remove the active plan (and its shared counter state)."""
-    global _PLAN
-    plan = _plan()
-    _PLAN = None
-    os.environ.pop(ENV_VAR, None)
-    if plan is not None and plan.state_dir and plan.installer_pid == os.getpid():
-        shutil.rmtree(plan.state_dir, ignore_errors=True)
-
-
-class injected:
-    """``with faults.injected([...]):`` -- install, then always clear."""
-
-    def __init__(self, specs, seed=0):
-        self.specs = specs
-        self.seed = seed
-
-    def __enter__(self):
-        return install(self.specs, seed=self.seed)
-
-    def __exit__(self, *exc):
-        clear()
-        return False
-
-
-def _plan():
-    """The active plan: installed locally, or adopted from the env (the
-    path a worker process takes on its first check)."""
-    global _PLAN
-    if _PLAN is not None:
-        return _PLAN
-    blob = os.environ.get(ENV_VAR)
-    if blob:
-        _PLAN = FaultPlan.from_json(blob)
-        return _PLAN
-    return None
-
-
-def active():
-    """Is any fault plan installed?  (Cheap gate for hot paths.)"""
-    return _plan() is not None
-
-
-def in_worker():
-    """Is this process a worker (not the plan's installing process)?"""
-    plan = _plan()
-    return plan is not None and os.getpid() != plan.installer_pid
-
-
-def fires(site, key=None):
-    """The matching spec dict if a fault fires here, else None.
-
-    Every call against a ``times``-limited spec counts as one attempt in
-    the plan's shared (cross-process) counter.
-    """
-    plan = _plan()
-    if plan is None:
-        return None
-    for index, spec in enumerate(plan.specs):
-        if spec.get("site") != site:
-            continue
-        want = spec.get("key")
-        if want is not None and (key is None or str(want) != str(key)):
-            continue
-        probability = spec.get("probability")
-        if probability is not None:
-            if _stable_fraction(plan.seed, site, key) < probability:
-                return spec
-            continue
-        times = spec.get("times")
-        if times is None or _bump(plan, index) <= times:
-            return spec
-    return None
-
-
-def check(site, key=None):
-    """Raise :class:`InjectedFault` if a fault fires at this site."""
-    spec = fires(site, key=key)
-    if spec is not None:
-        raise InjectedFault(
-            "injected fault at %s (key=%r)" % (site, key)
-        )
-
-
-def at_worker_entry(site_prefix, key=None):
-    """Apply kill/hang faults at a worker function's entry point.
-
-    No-op in the installing process, so the in-process fallback path can
-    never take the driver down with it.
-    """
-    if not in_worker():
-        return
-    spec = fires(site_prefix + ".kill", key=key)
-    if spec is not None:
-        os._exit(int(spec.get("exit_code", 87)))
-    spec = fires(site_prefix + ".hang", key=key)
-    if spec is not None:
-        time.sleep(float(spec.get("seconds", 3600.0)))
-
-
-def _stable_fraction(seed, site, key):
-    """A deterministic [0, 1) value from (seed, site, key) -- the same in
-    every process, so probabilistic plans reproduce exactly."""
-    text = "%s|%s|%s" % (seed, site, key)
-    digest = hashlib.sha256(text.encode()).digest()
-    return int.from_bytes(digest[:8], "big") / float(1 << 64)
-
-
-def _bump(plan, index):
-    """Increment spec ``index``'s shared attempt counter; returns the
-    count *including* this attempt.
-
-    The counter is a file in the plan's state directory opened with
-    ``O_APPEND``: the kernel serializes the writes, and ``lseek`` after
-    our own write reports exactly how many attempts preceded us -- an
-    atomic cross-process counter with no locking.
-    """
-    if not plan.state_dir or not os.path.isdir(plan.state_dir):
-        count = plan._local_counts.get(index, 0) + 1
-        plan._local_counts[index] = count
-        return count
-    path = os.path.join(plan.state_dir, "spec-%d" % index)
-    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-    try:
-        os.write(fd, b".")
-        return os.lseek(fd, 0, os.SEEK_CUR)
-    finally:
-        os.close(fd)
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "InjectedFault",
+    "active",
+    "at_worker_entry",
+    "check",
+    "clear",
+    "fires",
+    "in_worker",
+    "injected",
+    "install",
+]
