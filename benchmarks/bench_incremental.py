@@ -1,12 +1,18 @@
 """Incremental re-analysis benchmarks (docs/DRIVER.md).
 
-One series, dumped to ``BENCH_incremental.json``: on a generated
-~200-function project, pass-2 wall-clock and roots-analyzed for
+Two series, dumped to ``BENCH_incremental.json``: on generated
+multi-module projects, pass-2 wall-clock and roots-analyzed for
 
 - a cold incremental run (empty summary store: full analysis + stores),
 - a warm no-edit run (every root replayed from tier-2 frames),
 - a warm run after one seeded function-body edit (only the edited
   function's dirty cone re-analyzed).
+
+``incremental`` runs per-root checkers; ``incremental_global`` runs the
+coupled pathkill+free+audit suite whose cross-root state used to force
+the blanket fallback, and asserts it now stays incremental (zero
+``incremental_fallbacks``, dirty-cone-only re-analysis, warm ranked
+report byte-identical to cold).
 
 The shape assertions are the ISSUE acceptance criteria: warm-after-edit
 re-analyzes <25% of roots and every variant's reports are byte-identical
@@ -16,10 +22,20 @@ to a cold reference run.
 import json
 import time
 
-from repro.checkers import free_checker, lock_checker
-from repro.codegen.project_gen import apply_function_edits, generate_project
+from repro.checkers import (
+    audit_checker,
+    free_checker,
+    lock_checker,
+    path_kill_extension,
+)
+from repro.codegen.project_gen import (
+    apply_function_edits,
+    generate_global_project,
+    generate_project,
+)
 from repro.driver.project import Project
 from repro.driver.session import IncrementalSession, session_signature
+from repro.ranking.severity import stratify
 
 SUMMARY_PATH = "BENCH_incremental.json"
 _summary = {}
@@ -146,3 +162,114 @@ def test_incremental_cold_warm_edit(benchmark, tmp_path):
     small_cache = str(tmp_path / "small_cache")
     timed_incremental_run(small_root, small_paths, small_cache)
     benchmark(timed_incremental_run, small_root, small_paths, small_cache)
+
+
+GLOBAL_CHECKER_NAMES = ["pathkill", "free", "audit"]
+
+
+def global_checkers():
+    return [
+        path_kill_extension(),
+        free_checker(("kfree", "vfree")),
+        audit_checker(),
+    ]
+
+
+def ranked_text(result):
+    return "\n".join(r.format_trace() for r in stratify(result.reports))
+
+
+def timed_global_run(root, paths, cache_dir):
+    project = Project(include_paths=[root], cache_dir=cache_dir)
+    project.compile_files(paths)
+    session = IncrementalSession(
+        cache_dir, session_signature(checker_names=GLOBAL_CHECKER_NAMES)
+    )
+    start = time.perf_counter()
+    result = project.run(global_checkers(), incremental=session)
+    return time.perf_counter() - start, result, dict(project.stats.counters)
+
+
+def test_incremental_global_checkers(benchmark, tmp_path):
+    generated = generate_global_project(
+        seed=13, n_modules=4, functions_per_module=24, bug_rate=0.1
+    )
+    root, paths = materialize(tmp_path, generated, "gproj")
+    cache_dir = str(tmp_path / "gcache")
+
+    cold_s, cold_result, cold_counters = timed_global_run(
+        root, paths, cache_dir
+    )
+    warm_s, warm_result, warm_counters = timed_global_run(
+        root, paths, cache_dir
+    )
+
+    # seed=1 edits a vanilla function (no audit tag, no guarded free):
+    # the re-entered cone should stay minimal.
+    edited, edits = apply_function_edits(generated, k=1, seed=1)
+    root, paths = materialize(tmp_path, edited, "gproj")
+    edit_s, edit_result, edit_counters = timed_global_run(
+        root, paths, cache_dir
+    )
+
+    reference = Project(include_paths=[root])
+    reference.compile_files(paths)
+    reference_result = reference.run(global_checkers())
+    assert ranked_text(edit_result) == ranked_text(reference_result)
+    assert ranked_text(cold_result) == ranked_text(warm_result)
+    assert any(r.checker == "audit_tags" for r in reference_result.reports)
+
+    total_roots = len(reference.callgraph.roots())
+    for counters in (cold_counters, warm_counters, edit_counters):
+        assert counters.get("incremental_fallbacks", 0) == 0
+    assert warm_counters["incremental_roots_analyzed"] == 0
+    assert edit_counters["incremental_roots_analyzed"] < 0.25 * total_roots
+
+    rows = {
+        "total_functions": reference.total_functions(),
+        "total_roots": total_roots,
+        "edited_functions": len(edits),
+        "cold": {
+            "wall_s": round(cold_s, 4),
+            "roots_analyzed": cold_counters["incremental_roots_analyzed"],
+            "summary_stores": cold_counters["summary_stores"],
+        },
+        "warm_no_edit": {
+            "wall_s": round(warm_s, 4),
+            "roots_analyzed": warm_counters["incremental_roots_analyzed"],
+            "roots_replayed": warm_counters["incremental_roots_replayed"],
+            "delta_replays": warm_counters["annotation_delta_replays"],
+        },
+        "warm_one_edit": {
+            "wall_s": round(edit_s, 4),
+            "roots_analyzed": edit_counters["incremental_roots_analyzed"],
+            "roots_replayed": edit_counters["incremental_roots_replayed"],
+            "dirty_cone": edit_counters["incremental_dirty_cone"],
+            "delta_demotions": (
+                edit_counters.get("annotation_delta_read_demotions", 0)
+                + edit_counters.get("annotation_delta_stale_demotions", 0)
+            ),
+        },
+        "speedup_warm_no_edit": round(cold_s / max(warm_s, 1e-9), 2),
+        "speedup_warm_one_edit": round(cold_s / max(edit_s, 1e-9), 2),
+    }
+    print("\nglobal-checker incremental pass 2, %d roots:" % total_roots)
+    print("  cold          %.3fs  %3d roots analyzed" % (
+        cold_s, rows["cold"]["roots_analyzed"]))
+    print("  warm no-edit  %.3fs  %3d analyzed / %d replayed  (x%.1f)" % (
+        warm_s, rows["warm_no_edit"]["roots_analyzed"],
+        rows["warm_no_edit"]["roots_replayed"],
+        rows["speedup_warm_no_edit"]))
+    print("  warm 1-edit   %.3fs  %3d analyzed / %d replayed  (x%.1f)" % (
+        edit_s, rows["warm_one_edit"]["roots_analyzed"],
+        rows["warm_one_edit"]["roots_replayed"],
+        rows["speedup_warm_one_edit"]))
+    _summary["incremental_global"] = rows
+    _dump_summary()
+
+    small = generate_global_project(seed=3, n_modules=2,
+                                    functions_per_module=4)
+    small_root, small_paths = materialize(tmp_path, small, "gsmall")
+    small_cache = str(tmp_path / "gsmall_cache")
+    timed_global_run(small_root, small_paths, small_cache)
+    benchmark(timed_global_run, small_root, small_paths, small_cache)

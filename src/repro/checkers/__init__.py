@@ -24,6 +24,7 @@ from repro.checkers.intr import interrupt_checker
 from repro.checkers.security import user_pointer_checker
 from repro.checkers.format_string import format_string_checker
 from repro.checkers.range_check import range_check_checker
+from repro.checkers.global_audit import audit_checker
 from repro.checkers.pathkill import path_kill_extension
 from repro.checkers.pairs_infer import infer_pairs, make_pair_checker
 
@@ -40,6 +41,7 @@ ALL_CHECKERS = {
     "pathkill": path_kill_extension,
     "block": blocking_checker,
     "leak": leak_checker,
+    "audit": audit_checker,
 }
 
 __all__ = [

@@ -109,6 +109,55 @@ def generate_project(seed=0, n_modules=4, functions_per_module=12,
     return GeneratedProject(files, bugs, seed)
 
 
+def generate_global_project(seed=0, n_modules=3, functions_per_module=6,
+                            bug_rate=0.3, audit_tags=(7, 11)):
+    """A :func:`generate_project` tree extended with *global*-checker work.
+
+    Every module additionally gets:
+
+    - a guarded double free whose buggy path is dominated by ``panic()``
+      -- clean only when the path-kill extension runs first, exercising
+      annotation-store composition across extensions;
+    - one ``audit(TAG)`` claimant per tag in ``audit_tags``, with the
+      same tags repeated in every module, so the audit checker's
+      cross-root user globals produce duplicate-tag reports whose text
+      depends on serial root order.
+    """
+    generated = generate_project(
+        seed=seed,
+        n_modules=n_modules,
+        functions_per_module=functions_per_module,
+        bug_rate=bug_rate,
+    )
+    files = dict(generated.files)
+    for index in range(n_modules):
+        name = "module_%d.c" % index
+        chunks = [files[name]]
+        chunks.append(
+            "int m%d_guarded(struct device *dev) {\n"
+            "    struct device *p = kmalloc(8);\n"
+            "    if (!p)\n"
+            "        return -1;\n"
+            "    if (dev->flags) {\n"
+            "        panic();\n"
+            "        kfree(p);\n"
+            "        kfree(p);\n"
+            "    }\n"
+            "    kfree(p);\n"
+            "    return 0;\n"
+            "}\n" % index
+        )
+        for tag in audit_tags:
+            chunks.append(
+                "int m%d_audit_%d(struct device *dev) {\n"
+                "    audit(%d);\n"
+                "    return dev->count;\n"
+                "}\n" % (index, tag, tag)
+            )
+        files[name] = "\n".join(chunks)
+    return GeneratedProject(files, list(generated.bugs), seed)
+
+
 def default_checkers():
     """The checker suite matched to the generator's bug kinds."""
     from repro.checkers import (

@@ -32,10 +32,17 @@ tier 1, re-analyze for tier 2).  Bare-unit pickles from older emit dirs
 still load -- they just have no checksum to verify.
 """
 
+import contextlib
 import hashlib
 import json
 import os
 import pickle
+import time
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro import faults
 from repro.engine.summaries import SUMMARY_VERSION
@@ -46,8 +53,10 @@ PARSER_VERSION = "1"
 #: Payload format marker for emitted .ast files.
 AST_FORMAT_VERSION = 2
 
-#: Payload format marker for summary (.sum) frames.
-SUMMARY_FORMAT_VERSION = 1
+#: Payload format marker for summary (.sum) frames.  2: RootArtifact
+#: carries an annotation/user-global delta; manifests record the frame
+#: and AST keys the run used (cache GC liveness).
+SUMMARY_FORMAT_VERSION = 2
 
 #: Leading magic of a framed payload: marker + 32-byte SHA-256 of the
 #: pickle that follows.
@@ -302,10 +311,9 @@ class SummaryCache:
     def manifest_path(self, signature):
         return os.path.join(self.root, "manifest-%s.json" % signature[:32])
 
-    def load_manifest(self, signature):
-        """``{function: fingerprint}`` from the last run under this
-        signature, or None when absent/unreadable (a garbled manifest
-        degrades to a cold run, never a crash)."""
+    def load_manifest_document(self, signature):
+        """The full manifest document for a signature, or None when
+        absent/unreadable/skewed."""
         try:
             with open(self.manifest_path(signature)) as handle:
                 obj = json.load(handle)
@@ -318,25 +326,182 @@ class SummaryCache:
             or not isinstance(obj.get("fingerprints"), dict)
         ):
             return None
+        return obj
+
+    def load_manifest(self, signature):
+        """``{function: fingerprint}`` from the last run under this
+        signature, or None when absent/unreadable (a garbled manifest
+        degrades to a cold run, never a crash)."""
+        obj = self.load_manifest_document(signature)
+        if obj is None:
+            return None
         return obj["fingerprints"]
 
-    def store_manifest(self, signature, fingerprints):
-        """Atomically record the fingerprints of a completed run."""
+    def store_manifest(self, signature, fingerprints, frame_keys=(),
+                       ast_keys=(), stats=None):
+        """Record the fingerprints of a completed run.
+
+        A read-merge-write under a per-signature lockfile: entries from
+        a concurrent session (functions we did not fingerprint this run,
+        frame/AST keys we did not touch) are preserved rather than
+        clobbered, so two incremental sessions sharing one cache
+        directory both keep their warm state.  For functions both runs
+        saw, this run's fingerprint wins.  ``frame_keys``/``ast_keys``
+        are the tier-2/tier-1 entries this run stored or replayed; GC
+        treats them as live as long as the manifest is fresh.
+        """
+        spec = faults.fires("summary.manifest", key=signature)
+        if spec is not None:
+            # Fault injection: a rival session completes its manifest
+            # store in the window before ours.  The merge below must
+            # preserve its entries.
+            self._merge_manifest(
+                signature,
+                dict(spec.get("fingerprints") or {"__rival__": ["r", "r"]}),
+                spec.get("frame_keys") or (),
+                spec.get("ast_keys") or (),
+                None,
+            )
+        return self._merge_manifest(
+            signature, fingerprints, frame_keys, ast_keys, stats)
+
+    def _merge_manifest(self, signature, fingerprints, frame_keys,
+                        ast_keys, stats):
         path = self.manifest_path(signature)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = "%s.tmp.%d" % (path, os.getpid())
-        with open(tmp, "w") as handle:
-            json.dump(
-                {
-                    "format": SUMMARY_FORMAT_VERSION,
-                    "signature": signature,
-                    "fingerprints": dict(fingerprints),
-                },
-                handle,
-                sort_keys=True,
-            )
-        os.replace(tmp, path)
+        with _file_lock(path + ".lock"):
+            existing = self.load_manifest_document(signature)
+            merged = dict(fingerprints)
+            frames = set(frame_keys)
+            asts = set(ast_keys)
+            if existing is not None:
+                theirs = existing["fingerprints"]
+                for name, entry in theirs.items():
+                    merged.setdefault(name, entry)
+                frames.update(existing.get("frame_keys") or ())
+                asts.update(existing.get("ast_keys") or ())
+                if stats is not None and set(theirs) - set(fingerprints):
+                    stats.add("manifest_merges")
+            tmp = "%s.tmp.%d" % (path, os.getpid())
+            with open(tmp, "w") as handle:
+                json.dump(
+                    {
+                        "format": SUMMARY_FORMAT_VERSION,
+                        "signature": signature,
+                        "fingerprints": merged,
+                        "frame_keys": sorted(frames),
+                        "ast_keys": sorted(asts),
+                    },
+                    handle,
+                    sort_keys=True,
+                )
+            os.replace(tmp, path)
         return path
+
+
+@contextlib.contextmanager
+def _file_lock(path):
+    """An exclusive advisory lock around a read-merge-write cycle.
+
+    Degrades to no locking where ``fcntl`` is unavailable — the write
+    itself stays atomic (tmp + replace), so the worst case there is the
+    pre-lock behaviour (a lost merge), never corruption.
+    """
+    if fcntl is None:
+        yield False
+        return
+    fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            yield True
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
+def collect_cache_garbage(cache_dir, summaries_subdir="summaries",
+                          cutoff_days=30.0, now=None, stats=None):
+    """Sweep stale content-addressed entries from a cache directory.
+
+    Liveness comes from the manifests: every manifest newer than the
+    cutoff pins the tier-1 (``.ast``) and tier-2 (``.sum``) keys it
+    recorded.  The sweep drops (a) manifests older than the cutoff and
+    (b) frames that are both unpinned and older than the cutoff — a
+    frame younger than the cutoff is kept even when unreferenced, so
+    plain (non-incremental) cache users and in-flight sessions are never
+    raced.  Returns the eviction counters; also folded into ``stats``
+    when given.
+    """
+    now = time.time() if now is None else now
+    cutoff = now - float(cutoff_days) * 86400.0
+    counters = {
+        "gc_manifests_dropped": 0,
+        "gc_summary_frames_dropped": 0,
+        "gc_ast_frames_dropped": 0,
+        "gc_frames_kept": 0,
+    }
+    summaries_dir = os.path.join(cache_dir, summaries_subdir)
+    live_sum, live_ast = set(), set()
+    if os.path.isdir(summaries_dir):
+        for name in sorted(os.listdir(summaries_dir)):
+            if not (name.startswith("manifest-") and name.endswith(".json")):
+                continue
+            path = os.path.join(summaries_dir, name)
+            try:
+                mtime = os.path.getmtime(path)
+            except OSError:
+                continue
+            if mtime < cutoff:
+                with _file_lock(path + ".lock"):
+                    try:
+                        os.remove(path)
+                        counters["gc_manifests_dropped"] += 1
+                    except OSError:
+                        pass
+                continue
+            try:
+                with open(path) as handle:
+                    obj = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if isinstance(obj, dict):
+                live_sum.update(obj.get("frame_keys") or ())
+                live_ast.update(obj.get("ast_keys") or ())
+
+    def sweep(root, suffix, live, counter):
+        if not os.path.isdir(root):
+            return
+        for sub in sorted(os.listdir(root)):
+            subdir = os.path.join(root, sub)
+            if len(sub) != 2 or not os.path.isdir(subdir):
+                continue
+            for fname in sorted(os.listdir(subdir)):
+                if not fname.endswith(suffix):
+                    continue
+                key = fname[: -len(suffix)]
+                path = os.path.join(subdir, fname)
+                try:
+                    mtime = os.path.getmtime(path)
+                except OSError:
+                    continue
+                if key in live or mtime >= cutoff:
+                    counters["gc_frames_kept"] += 1
+                    continue
+                try:
+                    os.remove(path)
+                    counters[counter] += 1
+                except OSError:
+                    pass
+
+    sweep(summaries_dir, ".sum", live_sum, "gc_summary_frames_dropped")
+    sweep(cache_dir, ".ast", live_ast, "gc_ast_frames_dropped")
+    if stats is not None:
+        for name, value in counters.items():
+            if value:
+                stats.add(name, value)
+    return counters
 
 
 def corrupt_entry(path, mode="truncate"):

@@ -90,6 +90,16 @@ def build_parser():
         "byte-identical to a cold run",
     )
     parser.add_argument(
+        "--cache-gc", action="store_true",
+        help="before analyzing (or by itself, with no input files), drop "
+        "cached frames not referenced by any manifest newer than "
+        "--cache-gc-days and manifests older than it",
+    )
+    parser.add_argument(
+        "--cache-gc-days", type=float, default=30.0, metavar="DAYS",
+        help="staleness cutoff for --cache-gc (default 30)",
+    )
+    parser.add_argument(
         "--keep-going", action="store_true",
         help="degrade instead of aborting: skip files whose pass 1 fails "
         "and roots whose analysis crashes, recording each degradation "
@@ -228,7 +238,10 @@ def _run(parser, args):
             print(name)
         return 0
 
-    if not args.files:
+    if args.cache_gc and not args.cache_dir:
+        parser.error("--cache-gc requires --cache-dir")
+
+    if not args.files and not args.cache_gc:
         parser.error("no input files")
 
     if args.incremental and not args.cache_dir:
@@ -237,6 +250,28 @@ def _run(parser, args):
         # Figure-5 summary dumps need the live per-block tables of a full
         # serial run; replayed roots have none.
         parser.error("--dump-summaries is incompatible with --incremental")
+
+    gc_counters = None
+    if args.cache_gc:
+        from repro.driver.cache import collect_cache_garbage
+
+        gc_counters = collect_cache_garbage(
+            args.cache_dir, cutoff_days=args.cache_gc_days
+        )
+        if not args.files:
+            # GC-only invocation: sweep, report, done.
+            from repro.driver.stats import DriverStats
+
+            stats = DriverStats()
+            for name, value in gc_counters.items():
+                if value:
+                    stats.add(name, value)
+            if args.stats:
+                for line in stats.format_lines():
+                    print("# %s" % line, file=sys.stderr)
+            if args.stats_json:
+                stats.dump_json(args.stats_json)
+            return 0
 
     if args.dump_cfg or args.dump_dot or args.dump_callgraph:
         return _dump_mode(args)
@@ -258,6 +293,10 @@ def _run(parser, args):
                 return 2
 
     project = _make_project(args)
+    if gc_counters:
+        for name, value in gc_counters.items():
+            if value:
+                project.stats.add(name, value)
 
     options = AnalysisOptions(
         interprocedural=not args.no_interprocedural,

@@ -352,6 +352,8 @@ def _absorb(project, task, result):
         )
     project.compiled.append(compiled)
     project._register(compiled.unit, compiled.filename)
+    if result.key:
+        project.ast_keys_used.append(result.key)
     return compiled
 
 

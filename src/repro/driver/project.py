@@ -78,6 +78,10 @@ class Project:
         self.compiled = []
         self.static_vars = {}
         self._callgraph = None
+        #: Tier-1 cache keys this project probed (hits and stores) --
+        #: recorded into the incremental manifest so cache GC knows which
+        #: .ast frames a fresh manifest still depends on.
+        self.ast_keys_used = []
 
     # -- pass 1 -----------------------------------------------------------------
 

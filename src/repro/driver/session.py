@@ -21,17 +21,39 @@ and schedules pass 2 around *function fingerprints*
    ones for the dirty roots, in serial (extension, root) order, through
    a fresh log -- reproducing a cold run's ranked report byte for byte.
 
+Coupled (global) extensions -- the paper's §7.1 cross-root checkers,
+which communicate through AST annotations and user globals -- are
+scheduled through *annotation deltas* instead of falling back: each
+artifact records the net cross-root state its (extension, root) pair
+wrote plus a coarse read set (:mod:`repro.engine.deltas`).  On a warm
+run the session replays clean roots' deltas at their serial positions
+(so dirty roots observe the environment a cold serial run would have
+built) and demotes any clean root whose read set intersects a changed
+delta into the dirty cone -- the soundness condition that replaced the
+blanket coupled fallback.  Annotation reads always target nodes inside
+functions the reader traverses, so their intersection test is
+call-graph reachability: a clean root re-enters the cone when a changed
+annotation write lives in a function it can reach.  User-global reads
+are recorded per (extension, variable), with a wildcard for iteration.
+After the run, freshly produced deltas are diffed against the previous
+run's; a replayed root whose inputs turn out stale is demoted and the
+run repeated (bounded, loudly counted) -- unknown previous deltas count
+as changed, so missing history degrades to re-analysis, never to a
+stale replay.
+
 Safety valves (all recorded in the driver stats, never silent):
 
 - ``restrict_partial_hits`` makes caching change reports; the session
   refuses and runs non-incrementally.
-- Extensions that leave cross-root state behind (AST annotations,
-  user globals) make per-root outcomes non-independent; detected after
-  the restricted run, triggering a full non-incremental re-run and no
-  persistence.
+- Coupled runs force serial scheduling (parallel workers build
+  per-component annotation environments, which are not the serial
+  ones); a parallel fast-path run that unexpectedly turns out coupled
+  is re-run serially with delta capture, counted as
+  ``annotation_delta_serial_reruns``.
 - Truncated runs (global step budget) skip roots order-dependently;
-  same fallback.
-- Degraded roots (per-root budget blown, recovered error) are never
+  non-incremental fallback.
+- Degraded roots (per-root budget blown, recovered error) and roots
+  whose cross-root state does not pickle (``delta.opaque``) are never
   persisted, so they are re-analyzed on every run until they pass.
 - A corrupt summary frame is evicted and its root re-analyzed (same
   self-heal contract as the tier-1 AST cache).
@@ -43,6 +65,7 @@ import os
 
 from repro.cfg.fingerprint import fingerprint_tables
 from repro.driver import cache as astcache
+from repro.engine import deltas as deltamod
 from repro.engine.analysis import AnalysisOptions, AnalysisResult
 from repro.engine.errors import ErrorLog
 from repro.engine.summaries import SUMMARY_VERSION
@@ -156,20 +179,29 @@ class IncrementalSession:
         stats.add("incremental_dirty_functions", len(edited))
         stats.add("incremental_dirty_cone", len(cone))
 
+        used_keys = set()
         reanalyze = set(root for root in all_roots if root in cone)
         cached = self._load_clean_artifacts(
             extensions, (root for root in all_roots if root not in cone),
-            fingerprints, reanalyze, stats,
+            fingerprints, reanalyze, stats, used_keys,
         )
 
-        analyze_roots = sorted(reanalyze)
-        stats.add("incremental_roots_analyzed", len(analyze_roots))
-        stats.add(
-            "incremental_roots_replayed",
-            len(all_roots) - len(analyze_roots),
-        )
         run_options = copy.copy(options)
         run_options.capture_root_artifacts = True
+
+        # Known-coupled configuration (some cached artifact wrote
+        # cross-root state): schedule with delta replay from the start.
+        if any(
+            artifact.delta is not None and artifact.delta.has_writes()
+            for artifact in cached.values()
+        ):
+            return self._run_coupled(
+                project, extensions, options, run_options, jobs,
+                extension_factory, worker_timeout, stats, graph, all_roots,
+                fingerprints, local, manifest, cached, reanalyze, used_keys,
+            )
+
+        analyze_roots = sorted(reanalyze)
         fresh = project.run(
             extensions, run_options, jobs=jobs,
             extension_factory=extension_factory,
@@ -177,12 +209,28 @@ class IncrementalSession:
         )
 
         if fresh.coupled:
-            return self._fallback(
-                project, extensions, options, jobs, extension_factory,
-                worker_timeout, stats,
-                "extensions left cross-root state (annotations or user "
-                "globals); per-root artifacts are not independent",
+            # The run discovered cross-root state we had no record of.
+            # A full serial run already *is* the serial environment, so
+            # its deltas are valid as captured; anything partial (or
+            # parallel, where workers build per-component environments)
+            # must be redone serially with delta replay.
+            full_serial = (
+                jobs <= 1 and not cached
+                and set(analyze_roots) == set(all_roots)
             )
+            if not full_serial:
+                stats.add("annotation_delta_serial_reruns")
+                stats.record_degradation(
+                    "incremental",
+                    "extensions left cross-root state mid-session; re-ran "
+                    "serially with annotation-delta replay",
+                )
+                return self._run_coupled(
+                    project, extensions, options, run_options, jobs,
+                    extension_factory, worker_timeout, stats, graph,
+                    all_roots, fingerprints, local, manifest, cached,
+                    reanalyze, used_keys,
+                )
         if fresh.truncated:
             return self._fallback(
                 project, extensions, options, jobs, extension_factory,
@@ -191,8 +239,221 @@ class IncrementalSession:
                 "order-dependent",
             )
 
+        stats.add("incremental_roots_analyzed", len(analyze_roots))
+        stats.add(
+            "incremental_roots_replayed",
+            len(all_roots) - len(analyze_roots),
+        )
         result = self._merge(extensions, all_roots, fresh, cached)
-        self._persist(fresh, fingerprints, local, stats)
+        self._persist(fresh, fingerprints, local, stats, project, used_keys)
+        return result
+
+    # -- coupled (global-checker) scheduling -------------------------------
+
+    def _run_coupled(self, project, extensions, options, run_options, jobs,
+                     extension_factory, worker_timeout, stats, graph,
+                     all_roots, fingerprints, local, manifest, cached,
+                     reanalyze, used_keys):
+        """Incremental scheduling for extensions with cross-root state.
+
+        Serial by construction: replayed deltas and analyzed roots must
+        interleave in the order a cold serial run would produce, so the
+        per-component parallel scheduler does not apply.  The sequence:
+
+        1. *Pre-run demotion*: every dirty root's previous delta names
+           the writes that may change; clean roots whose read set (or
+           annotation reachability cone) intersects them are demoted to
+           a fixpoint.
+        2. *Resolve + run*: clean roots' deltas are bound to the current
+           tree's nodes (unresolvable ones demote their root) and
+           applied at their serial positions while the dirty roots are
+           re-analyzed.
+        3. *Post-run validation*: fresh deltas are diffed against the
+           previous run's; a replayed root whose inputs actually changed
+           is demoted and the run repeated.  Unknown previous deltas
+           count as fully changed, so the loop converges (each round
+           strictly shrinks the replayed set) and missing history can
+           only cause extra analysis, never a stale replay.
+        """
+        stats.add("incremental_coupled_runs")
+        if jobs > 1:
+            stats.add("annotation_delta_serial_forced")
+
+        old_deltas = {}
+
+        def old_delta(ext_index, root):
+            """The delta this (extension, root) produced last run, or
+            None when unknown (no manifest entry, missing/corrupt frame:
+            treated as fully changed)."""
+            pair = (ext_index, root)
+            if pair in old_deltas:
+                return old_deltas[pair]
+            delta = None
+            artifact = cached.get(pair)
+            if artifact is not None:
+                delta = artifact.delta
+            elif manifest and root in manifest:
+                old_fp = (manifest.get(root) or (None, None))[1]
+                if old_fp:
+                    ext = extensions[ext_index]
+                    name = getattr(ext, "name", repr(ext))
+                    key = summary_key(
+                        self.signature, ext_index, name, root, old_fp)
+                    try:
+                        if self.store.lookup(key) is not None:
+                            delta = self.store.load(key).delta
+                    except (OSError, astcache.CacheCorruption):
+                        delta = None
+            old_deltas[pair] = delta
+            return delta
+
+        reach_memo = {}
+
+        def reach(root):
+            """Functions reachable from ``root`` through the call graph
+            (the functions whose nodes this root's traversal can read)."""
+            seen = reach_memo.get(root)
+            if seen is None:
+                seen = set()
+                stack = [root]
+                while stack:
+                    fn = stack.pop()
+                    if fn in seen or fn not in graph.functions:
+                        continue
+                    seen.add(fn)
+                    stack.extend(graph.callees.get(fn, ()))
+                reach_memo[root] = seen
+            return seen
+
+        changed_fns = set()   # functions containing changed annotation writes
+        changed_glob = set()  # ("glob", ext, var) keys whose value changed
+
+        def seed_changes(root):
+            """Mark a root's previous writes as potentially changed."""
+            for ext_index in range(len(extensions)):
+                old = old_delta(ext_index, root)
+                if old is None:
+                    continue
+                changed_fns.update(old.write_functions())
+                changed_glob.update(old.glob_write_keys())
+
+        def impacted(root):
+            """Does this clean root read anything that changed?"""
+            if changed_fns and reach(root) & changed_fns:
+                return True
+            for ext_index in range(len(extensions)):
+                artifact = cached.get((ext_index, root))
+                if artifact is None:
+                    continue
+                delta = artifact.delta
+                if delta is None:
+                    return True  # unknown read set: never replay blind
+                for read in delta.reads:
+                    if read[0] == "glob" and read in changed_glob:
+                        return True
+                    if read == ("ann*",) and changed_fns:
+                        return True
+                    if read[0] == "glob*" and any(
+                        key[1] == read[1] for key in changed_glob
+                    ):
+                        return True
+            return False
+
+        def demote(root, counter):
+            stats.add(counter)
+            seed_changes(root)  # its own writes will be re-derived
+            for ext_index in range(len(extensions)):
+                cached.pop((ext_index, root), None)
+            reanalyze.add(root)
+
+        def settle(counter):
+            """Demote impacted clean roots to a fixpoint."""
+            pending = True
+            while pending:
+                pending = False
+                for root in sorted({r for (_, r) in cached}):
+                    if root not in reanalyze and impacted(root):
+                        demote(root, counter)
+                        pending = True
+
+        for root in sorted(reanalyze):
+            seed_changes(root)
+        settle("annotation_delta_read_demotions")
+
+        rounds = 0
+        max_rounds = len(all_roots) + 2
+        while True:
+            rounds += 1
+            if rounds > max_rounds:
+                return self._fallback(
+                    project, extensions, options, jobs, extension_factory,
+                    worker_timeout, stats,
+                    "annotation-delta scheduling did not converge",
+                )
+            analysis = project.analysis(run_options)
+            resolver = deltamod.DeltaResolver(graph, analysis._cfg)
+            replay_map = {}
+            unresolved = set()
+            for (ext_index, root), artifact in sorted(cached.items()):
+                if root in unresolved:
+                    continue
+                try:
+                    replay_map[(ext_index, root)] = resolver.resolve(
+                        artifact.delta)
+                except deltamod.UnresolvedDelta:
+                    unresolved.add(root)
+            if unresolved:
+                for root in sorted(unresolved):
+                    demote(root, "annotation_delta_unresolved")
+                settle("annotation_delta_read_demotions")
+                continue
+
+            analyze_roots = sorted(reanalyze)
+            fresh = analysis.run(
+                extensions, roots=all_roots, replay=replay_map)
+            if fresh.truncated:
+                return self._fallback(
+                    project, extensions, options, jobs, extension_factory,
+                    worker_timeout, stats,
+                    "global step budget exhausted; root skipping is "
+                    "order-dependent",
+                )
+
+            # Post-run validation: what actually changed?
+            new_deltas = {
+                (a.ext_index, a.root): a.delta for a in fresh.root_artifacts
+            }
+            for root in analyze_roots:
+                for ext_index in range(len(extensions)):
+                    fns, globs = deltamod.delta_changes(
+                        old_delta(ext_index, root),
+                        new_deltas.get((ext_index, root)),
+                    )
+                    changed_fns.update(fns)
+                    changed_glob.update(globs)
+            stale = [
+                root for root in sorted({r for (_, r) in cached})
+                if impacted(root)
+            ]
+            if stale:
+                for root in stale:
+                    demote(root, "annotation_delta_stale_demotions")
+                settle("annotation_delta_read_demotions")
+                continue
+            break
+
+        stats.add("annotation_delta_rounds", rounds)
+        stats.add("annotation_delta_replays", sum(
+            1 for artifact in cached.values()
+            if artifact.delta is not None and artifact.delta.has_writes()
+        ))
+        stats.add("incremental_roots_analyzed", len(analyze_roots))
+        stats.add(
+            "incremental_roots_replayed",
+            len(all_roots) - len(analyze_roots),
+        )
+        result = self._merge(extensions, all_roots, fresh, cached)
+        self._persist(fresh, fingerprints, local, stats, project, used_keys)
         return result
 
     # -- pieces ------------------------------------------------------------
@@ -211,10 +472,11 @@ class IncrementalSession:
         )
 
     def _load_clean_artifacts(self, extensions, clean_roots, fingerprints,
-                              reanalyze, stats):
+                              reanalyze, stats, used_keys=None):
         """``{(ext_index, root): RootArtifact}`` for every clean root all
         of whose frames load; roots with any missing or corrupt frame are
-        moved into ``reanalyze`` instead."""
+        moved into ``reanalyze`` instead.  Hit keys are recorded into
+        ``used_keys`` (manifest liveness for cache GC)."""
         cached = {}
         for root in clean_roots:
             loaded = []
@@ -229,7 +491,7 @@ class IncrementalSession:
                         stats.add("summary_misses")
                         loaded = None
                         break
-                    loaded.append((ext_index, self.store.load(key)))
+                    loaded.append((ext_index, key, self.store.load(key)))
                 except (OSError, astcache.CacheCorruption) as err:
                     stats.add("summary_evictions")
                     stats.record_degradation(
@@ -244,8 +506,10 @@ class IncrementalSession:
                 reanalyze.add(root)
             else:
                 stats.add("summary_hits", len(loaded))
-                for ext_index, artifact in loaded:
+                for ext_index, key, artifact in loaded:
                     cached[(ext_index, root)] = artifact
+                    if used_keys is not None:
+                        used_keys.add(key)
         return cached
 
     def _merge(self, extensions, all_roots, fresh, cached):
@@ -269,15 +533,31 @@ class IncrementalSession:
                 degraded.extend(artifact.degraded)
         merged_stats = dict(fresh.stats)
         merged_stats["errors"] = len(log)
+        # Provenance (docs/DRIVER.md, "Stats schema"): the traversal
+        # counters above (points_visited, paths_completed, ...) cover
+        # only the analyzed dirty cone -- replayed roots contribute
+        # reports without traversal work.  Mark the split explicitly so
+        # a warm run's counters are never mistaken for a cold run's.
+        merged_stats["incremental_analyzed_pairs"] = len(produced)
+        merged_stats["incremental_replayed_pairs"] = len(cached)
+        merged_stats["stats_coverage"] = "analyzed-roots-only"
         return AnalysisResult(
             log, fresh.tables, merged_stats, truncated=False,
             degraded=degraded,
         )
 
-    def _persist(self, fresh, fingerprints, local, stats):
+    def _persist(self, fresh, fingerprints, local, stats, project=None,
+                 used_keys=None):
         """Store every clean fresh artifact plus the new manifest."""
+        used = set(used_keys or ())
         for artifact in fresh.root_artifacts:
             if not artifact.clean:
+                continue
+            if artifact.delta is not None and artifact.delta.opaque:
+                # Cross-root state that does not pickle cannot be
+                # replayed; never persist it -- the root simply
+                # re-analyzes every run, loudly.
+                stats.add("annotation_delta_opaque_roots")
                 continue
             fingerprint = fingerprints.get(artifact.root)
             if fingerprint is None:
@@ -289,11 +569,18 @@ class IncrementalSession:
                 artifact.root, fingerprint,
             )
             self.store.store(key, artifact)
+            used.add(key)
             stats.add("summary_stores")
+        ast_keys = ()
+        if project is not None:
+            ast_keys = sorted(set(project.ast_keys_used))
         self.store.store_manifest(
             self.signature,
             {
                 name: [local[name], fingerprints[name]]
                 for name in fingerprints
             },
+            frame_keys=sorted(used),
+            ast_keys=ast_keys,
+            stats=stats,
         )

@@ -19,8 +19,11 @@ from contextlib import contextmanager
 #: Version of the --stats-json document shape (docs/DRIVER.md, "Stats
 #: schema").  Bump whenever a top-level key is added, removed, or changes
 #: meaning, so downstream consumers (benchmarks, CI lanes) can detect
-#: skew instead of misreading.
-SCHEMA_VERSION = 2
+#: skew instead of misreading.  3: ``annotation_delta_*`` counters
+#: (incremental global checkers), ``manifest_merges``, ``gc_*`` eviction
+#: counters, and explicit replayed-vs-analyzed provenance in the engine
+#: stats of incremental runs.
+SCHEMA_VERSION = 3
 
 
 class DriverStats:

@@ -19,6 +19,7 @@ from repro.metal.patterns import MatchContext
 from repro.metal.sm import GLOBAL, PLACEHOLDER, STOP, PathSplit, StateRef
 from repro.engine.composition import AnnotationStore
 from repro.engine.context import ActionContext, StopPath
+from repro.engine.deltas import DeltaTracker, TrackedGlobals, clone_value
 from repro.engine.errors import ErrorLog
 from repro.engine.falsepath import PathConstraints
 from repro.engine.interproc import (
@@ -262,6 +263,15 @@ class Analysis:
         self._cfgs = {}
         self._fctxs = {}
         self._user_globals = {}
+        # Cross-root state tracking (incremental global checkers): when
+        # artifacts are captured, a DeltaTracker diffs the annotation
+        # store and user globals at root boundaries.
+        self._tracker = None
+        if self.options.capture_root_artifacts:
+            self._tracker = DeltaTracker(self.current_function_name)
+            self.annotations.tracker = self._tracker
+        # {(ext_index, root): ResolvedDelta} replayed instead of analyzed.
+        self._replay = {}
         self.stats = {
             "points_visited": 0,
             "blocks_traversed": 0,
@@ -302,10 +312,19 @@ class Analysis:
 
     # -- public API --------------------------------------------------------------
 
-    def run(self, extensions, roots=None):
-        """Apply each extension (in order) to the whole source base."""
+    def run(self, extensions, roots=None, replay=None):
+        """Apply each extension (in order) to the whole source base.
+
+        ``replay`` maps ``(extension_index, root)`` to a
+        :class:`repro.engine.deltas.ResolvedDelta`: those pairs are not
+        traversed — their recorded cross-root writes are applied at the
+        pair's serial position instead, so analyzed roots observe the
+        same annotation-store/user-global environment a full serial run
+        would have built.
+        """
         if not isinstance(extensions, (list, tuple)):
             extensions = [extensions]
+        self._replay = dict(replay or {})
         tables = {}
         with self._phase("traverse"):
             for ext_index, ext in enumerate(extensions):
@@ -347,10 +366,18 @@ class Analysis:
         for root in roots:
             if root not in self.callgraph.functions:
                 continue
+            resolved = self._replay.get((self._ext_index, root))
+            if resolved is not None:
+                # Replay this pair's recorded cross-root writes in place
+                # of traversing it; its reports come from the cached
+                # artifact at merge time.
+                self._apply_replay(resolved)
+                continue
             start = len(self.log)
             degraded_before = len(self.degraded)
             if capture:
                 self.log.push_scope()
+                self._tracker.begin_root()
             self._begin_root(root)
             try:
                 self._run_root(ext, root)
@@ -377,9 +404,35 @@ class Analysis:
                 break
         return self._table
 
+    def _apply_replay(self, resolved):
+        """Apply a resolved delta's writes to the live environment.
+
+        Values are cloned so later in-place mutations by analyzed roots
+        never reach the cached artifact object; the tracker (outside any
+        root here) folds the writes into its baseline so they are not
+        attributed to the next analyzed root.
+        """
+        for node, ann_key, value in resolved.ann_ops:
+            self.annotations.put(node, ann_key, clone_value(value))
+        for ext_name, var, value in resolved.glob_sets:
+            copy = clone_value(value)
+            mapping = self._globals_for_name(ext_name)
+            dict.__setitem__(mapping, var, copy)
+            if self._tracker is not None:
+                self._tracker.note_replay_glob(ext_name, var, copy)
+        for ext_name, var in resolved.glob_dels:
+            mapping = self._globals_for_name(ext_name)
+            if dict.__contains__(mapping, var):
+                dict.__delitem__(mapping, var)
+            if self._tracker is not None:
+                self._tracker.note_replay_glob(ext_name, var, None, deleted=True)
+
     def _capture_artifact(self, ext, root, start, degraded_before):
         examples, counterexamples = self.log.pop_scope()
         degraded = self.degraded[degraded_before:]
+        delta = None
+        if self._tracker is not None:
+            delta = self._tracker.end_root(self.annotations, self._user_globals)
         summary = None
         if root in self._cfgs:
             summary = FunctionSummary.snapshot(
@@ -395,6 +448,7 @@ class Analysis:
             degraded=degraded,
             clean=not degraded and not self._truncated,
             summary=summary,
+            delta=delta,
         ))
 
     def _begin_root(self, root):
@@ -428,7 +482,17 @@ class Analysis:
         return self._call_stack[-1] if self._call_stack else None
 
     def user_globals(self, ext):
-        return self._user_globals.setdefault(ext.name, {})
+        return self._globals_for_name(ext.name)
+
+    def _globals_for_name(self, name):
+        values = self._user_globals.get(name)
+        if values is None:
+            if self._tracker is not None:
+                values = TrackedGlobals(name, self._tracker)
+            else:
+                values = {}
+            self._user_globals[name] = values
+        return values
 
     def _phase(self, name):
         if self._phase_timer is None:

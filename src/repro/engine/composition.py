@@ -12,17 +12,28 @@ sequential runs of composed extensions (the trees are shared).
 
 
 class AnnotationStore:
-    """Arbitrary data values attached to AST nodes."""
+    """Arbitrary data values attached to AST nodes.
+
+    When a :class:`repro.engine.deltas.DeltaTracker` is attached (set by
+    the analysis when per-root artifacts are captured), every put/get is
+    reported so incremental sessions can diff the store at root
+    boundaries; ``nodes_with`` counts as a wildcard read.
+    """
 
     def __init__(self):
         self._data = {}
+        self.tracker = None
 
     def put(self, node, key, value):
         self._data.setdefault(id(node), {})[key] = value
         # Hold a reference so id() stays unique for the store's lifetime.
         self._data[id(node)].setdefault("$node", node)
+        if self.tracker is not None:
+            self.tracker.on_ann_put(node, key, value)
 
     def get(self, node, key, default=None):
+        if self.tracker is not None:
+            self.tracker.on_ann_get(node, key)
         slot = self._data.get(id(node))
         if slot is None:
             return default
@@ -30,6 +41,8 @@ class AnnotationStore:
 
     def nodes_with(self, key):
         """All (node, value) pairs annotated under ``key``."""
+        if self.tracker is not None:
+            self.tracker.on_ann_nodes_with(key)
         out = []
         for slot in self._data.values():
             if key in slot:

@@ -27,7 +27,7 @@ ADD = "add"
 #: engine's observable behaviour changes (report fields, traversal
 #: semantics, edge encoding): persisted frames from other versions stop
 #: matching and are re-derived.
-SUMMARY_VERSION = "1"
+SUMMARY_VERSION = "2"
 
 
 class Edge:
@@ -357,10 +357,10 @@ class RootArtifact:
     """
 
     __slots__ = ("ext_index", "extension", "root", "reports", "examples",
-                 "counterexamples", "degraded", "clean", "summary")
+                 "counterexamples", "degraded", "clean", "summary", "delta")
 
     def __init__(self, ext_index, extension, root, reports, examples,
-                 counterexamples, degraded, clean, summary=None):
+                 counterexamples, degraded, clean, summary=None, delta=None):
         self.ext_index = ext_index
         self.extension = extension
         self.root = root
@@ -372,6 +372,10 @@ class RootArtifact:
         #: Optional :class:`FunctionSummary` snapshot of the root's own
         #: function summary at the end of its traversal.
         self.summary = summary
+        #: Optional :class:`repro.engine.deltas.RootDelta`: the net
+        #: cross-root state (annotations, user globals) this root wrote,
+        #: plus its coarse read set.  ``None`` means "not captured".
+        self.delta = delta
 
     def replay_into(self, log):
         """Append this root's contribution to a merge log (dedup applies
@@ -387,6 +391,7 @@ class RootArtifact:
         return {name: getattr(self, name) for name in self.__slots__}
 
     def __setstate__(self, state):
+        self.delta = None  # absent in pre-delta pickles
         for name, value in state.items():
             setattr(self, name, value)
 

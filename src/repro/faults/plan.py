@@ -20,7 +20,7 @@ ENV_VAR = "XGCC_FAULTS"
 _SITES = frozenset([
     "pass1.worker.kill", "pass1.worker.hang", "pass1.parse",
     "pass2.worker.kill", "pass2.worker.hang", "pass2.analysis",
-    "cache.corrupt", "summary.corrupt", "engine.budget",
+    "cache.corrupt", "summary.corrupt", "summary.manifest", "engine.budget",
 ])
 
 

@@ -23,6 +23,8 @@ from repro.codegen.project_gen import default_checkers, generate_project
 from repro.driver import cache as astcache
 from repro.driver.cli import main
 from repro.driver.project import Project
+from repro.driver.session import IncrementalSession, session_signature
+from repro.driver.stats import DriverStats
 from repro.engine.analysis import Analysis, AnalysisOptions
 
 _ENV_JOBS = os.environ.get("XGCC_FAULT_JOBS")
@@ -279,6 +281,76 @@ class TestCacheRobustness:
         data = astcache.pack_unit(unit, 26)
         with pytest.raises(astcache.CacheCorruption):
             astcache.unpack(data[: len(data) // 2])
+
+
+class TestManifestRace:
+    """``summary.manifest`` injection: a rival session finishes its
+    manifest store in the window between our read and our write.  The
+    locked read-merge-write must keep the rival's warm state."""
+
+    def test_rival_entries_survive_the_merge(self, tmp_path):
+        store = astcache.SummaryCache(str(tmp_path))
+        stats = DriverStats()
+        with faults.injected([{
+            "site": "summary.manifest",
+            "fingerprints": {"rival_fn": ["rl", "rm"]},
+            "frame_keys": ["rival_frame"],
+        }]):
+            store.store_manifest(
+                "sig", {"our_fn": ["ol", "om"]},
+                frame_keys=["our_frame"], stats=stats,
+            )
+        doc = store.load_manifest_document("sig")
+        assert doc["fingerprints"] == {
+            "our_fn": ["ol", "om"], "rival_fn": ["rl", "rm"],
+        }
+        assert doc["frame_keys"] == ["our_frame", "rival_frame"]
+        assert stats.count("manifest_merges") == 1
+
+    def test_ours_beat_the_rival_for_shared_functions(self, tmp_path):
+        store = astcache.SummaryCache(str(tmp_path))
+        with faults.injected([{
+            "site": "summary.manifest",
+            "fingerprints": {"shared": ["stale", "stale"]},
+        }]):
+            store.store_manifest("sig", {"shared": ["fresh", "fresh"]})
+        assert store.load_manifest("sig") == {"shared": ["fresh", "fresh"]}
+
+    def test_incremental_session_survives_interleaved_store(
+        self, workload, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+
+        def session():
+            return IncrementalSession(
+                cache, session_signature(checker_names=["free"],
+                                         options=AnalysisOptions()),
+            )
+
+        checkers = [free_checker(("kfree", "vfree"))]
+        cold = _fresh(workload, cache_dir=cache)
+        cold.compile_files(workload["paths"])
+        with faults.injected([{"site": "summary.manifest"}]):
+            first = cold.run(checkers, incremental=session())
+        assert cold.stats.count("manifest_merges") == 1
+
+        # The default rival entry landed and persists alongside ours...
+        signature = session_signature(
+            checker_names=["free"], options=AnalysisOptions()
+        )
+        summaries = astcache.SummaryCache(
+            os.path.join(cache, "summaries")
+        )
+        manifest = summaries.load_manifest(signature)
+        assert "__rival__" in manifest
+
+        # ...and the warm run is not perturbed: every real root replays.
+        warm = _fresh(workload, cache_dir=cache)
+        warm.compile_files(workload["paths"])
+        second = warm.run(checkers, incremental=session())
+        assert _keys(second) == _keys(first)
+        assert warm.stats.count("incremental_roots_analyzed") == 0
+        assert warm.stats.count("incremental_fallbacks") == 0
 
 
 class TestPass2Recovery:

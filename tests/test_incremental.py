@@ -4,8 +4,10 @@ Covers: Merkle function fingerprints (edit / move / callee propagation /
 recursion), dirty-cone computation, the seeded edit simulator, tier-2
 summary frames (roundtrip, corruption self-heal, manifest), differential
 cold-vs-incremental byte-identity after k edits, cone-bound scheduling,
-the coupled-state and restrict_partial_hits fallbacks, degraded-root
-non-persistence, and the CLI ``--incremental`` flag.
+coupled-extension delta scheduling (the old blanket fallback is gone --
+tests/test_global_incremental.py covers it in depth), the
+restrict_partial_hits fallback, degraded-root non-persistence, and the
+CLI ``--incremental`` flag.
 """
 
 import json
@@ -395,7 +397,11 @@ class TestIncrementalDifferential:
         assert warm.stats.count("summary_misses") > 0
         assert report_keys(second) == report_keys(first)
 
-    def test_coupled_extension_falls_back(self, tmp_path):
+    def test_coupled_extension_stays_incremental(self, tmp_path):
+        # A user-global-writing extension used to force the blanket
+        # coupled fallback; annotation-delta capture/replay keeps it
+        # incremental (zero fallbacks, frames persisted, warm replay
+        # byte-identical to a cold run).
         def coupled_checkers():
             ext = Extension("globals_writer")
             ext.state_var("v", ANY_POINTER)
@@ -408,20 +414,28 @@ class TestIncrementalDifferential:
             )
             return [ext]
 
+        def session():
+            return IncrementalSession(
+                str(cache),
+                session_signature(checker_names=["globals_writer"]),
+            )
+
         gen = generate_project(seed=5, n_modules=2, functions_per_module=4)
         cache = tmp_path / "cache"
         paths = write_tree(tmp_path, gen)
         project = compiled_project(tmp_path, paths, cache)
-        session = IncrementalSession(
-            str(cache), session_signature(checker_names=["globals_writer"])
-        )
-        result = project.run(coupled_checkers(), incremental=session)
-        assert project.stats.count("incremental_fallbacks") == 1
-        assert project.stats.count("summary_stores") == 0
-        kinds = [d["kind"] for d in project.stats.degradations]
-        assert "incremental" in kinds
+        result = project.run(coupled_checkers(), incremental=session())
+        assert project.stats.count("incremental_fallbacks") == 0
+        assert project.stats.count("summary_stores") > 0
         reference = compiled_project(tmp_path, paths).run(coupled_checkers())
         assert report_keys(result) == report_keys(reference)
+
+        warm = compiled_project(tmp_path, paths, cache)
+        replayed = warm.run(coupled_checkers(), incremental=session())
+        assert report_keys(replayed) == report_keys(reference)
+        assert warm.stats.count("incremental_fallbacks") == 0
+        assert warm.stats.count("incremental_roots_analyzed") == 0
+        assert warm.stats.count("incremental_coupled_runs") == 1
 
     def test_restrict_partial_hits_falls_back(self, tmp_path):
         gen = generate_project(seed=5, n_modules=2, functions_per_module=4)
@@ -507,7 +521,7 @@ class TestIncrementalCLI:
         main(args + paths)
         capsys.readouterr()
         cold = json.loads(stats_path.read_text())
-        assert cold["schema_version"] == 2
+        assert cold["schema_version"] == 3
         assert cold["counters"]["incremental_cold_runs"] == 1
         assert cold["counters"]["summary_stores"] > 0
         main(args + paths)
