@@ -186,12 +186,15 @@ class AstCache:
     def load(self, key):
         """``(unit, source_bytes, emitted_bytes)`` for a cached key.
 
-        Raises :class:`CacheCorruption` for untrustworthy entries.
+        Raises :class:`CacheCorruption` for untrustworthy entries.  A
+        successful load refreshes the entry's mtime, so frames a warm
+        session keeps replaying never age past the GC cutoff.
         """
         path = self.path_for(key)
         with open(path, "rb") as handle:
             data = handle.read()
         unit, source_bytes = unpack(data)
+        touch_entry(path)
         return unit, source_bytes, len(data)
 
     def store(self, key, data):
@@ -274,11 +277,23 @@ class SummaryCache:
     def load(self, key):
         """The cached :class:`RootArtifact` for ``key``.
 
-        Raises :class:`CacheCorruption` for untrustworthy entries.
+        Raises :class:`CacheCorruption` for untrustworthy entries.  A
+        successful load refreshes the frame's mtime: a frame a warm
+        session (or daemon) replays daily must read as *in use* to the
+        GC's ``mtime >= cutoff`` keep rule, not as untouched since the
+        run that stored it.
         """
-        with open(self.path_for(key), "rb") as handle:
+        path = self.path_for(key)
+        with open(path, "rb") as handle:
             data = handle.read()
-        return unpack_artifact(data)
+        artifact = unpack_artifact(data)
+        touch_entry(path)
+        return artifact
+
+    def touch(self, key):
+        """Refresh a frame's mtime without reading it (in-memory warm
+        hits still count as GC liveness)."""
+        touch_entry(self.path_for(key))
 
     def store(self, key, artifact):
         """Atomically persist one per-root outcome."""
@@ -369,7 +384,7 @@ class SummaryCache:
                         ast_keys, stats):
         path = self.manifest_path(signature)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        with _file_lock(path + ".lock"):
+        with _file_lock(path + ".lock", stats=stats):
             existing = self.load_manifest_document(signature)
             merged = dict(fingerprints)
             frames = set(frame_keys)
@@ -399,30 +414,88 @@ class SummaryCache:
         return path
 
 
+#: Lockfile-fallback tuning (non-``fcntl`` platforms): how long one
+#: waiter retries before it declares the holder dead, and how old an
+#: ``.excl`` lockfile must be before it is stolen as stale.
+_LOCK_FALLBACK_TIMEOUT = 10.0
+_LOCK_FALLBACK_STALE = 30.0
+
+
 @contextlib.contextmanager
-def _file_lock(path):
+def _file_lock(path, stats=None):
     """An exclusive advisory lock around a read-merge-write cycle.
 
-    Degrades to no locking where ``fcntl`` is unavailable — the write
-    itself stays atomic (tmp + replace), so the worst case there is the
-    pre-lock behaviour (a lost merge), never corruption.
+    With ``fcntl`` available this is a plain ``flock``.  Without it the
+    lock does NOT silently become a no-op (that would quietly drop the
+    read-merge-write concurrency guarantee): it falls back to an
+    ``O_CREAT | O_EXCL`` lockfile with bounded retry, counted in
+    ``stats`` as ``manifest_lock_fallbacks`` so the degraded locking
+    discipline is visible in ``--stats-json``.  A lockfile older than
+    :data:`_LOCK_FALLBACK_STALE` seconds (crashed holder) is stolen;
+    a waiter that exhausts :data:`_LOCK_FALLBACK_TIMEOUT` steals too
+    rather than wedging — the write itself stays atomic (tmp +
+    replace), so the worst case is a lost merge, never corruption.
     """
-    if fcntl is None:
-        yield False
-        return
-    fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
-    try:
-        fcntl.flock(fd, fcntl.LOCK_EX)
+    if fcntl is not None:
+        fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
         try:
-            yield True
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                yield True
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
         finally:
-            fcntl.flock(fd, fcntl.LOCK_UN)
-    finally:
+            os.close(fd)
+        return
+    if stats is not None:
+        stats.add("manifest_lock_fallbacks")
+    excl = path + ".excl"
+    deadline = time.monotonic() + _LOCK_FALLBACK_TIMEOUT
+    while True:
+        try:
+            fd = os.open(excl, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            break
+        except FileExistsError:
+            try:
+                stale = time.time() - os.path.getmtime(excl)
+            except OSError:
+                continue  # holder released between open and stat: retry
+            if stale > _LOCK_FALLBACK_STALE or time.monotonic() > deadline:
+                # Crashed holder (or one outliving any sane merge):
+                # steal the lock instead of wedging every later writer.
+                try:
+                    os.remove(excl)
+                except OSError:
+                    pass
+                continue
+            time.sleep(0.01)
+    try:
         os.close(fd)
+        yield True
+    finally:
+        try:
+            os.remove(excl)
+        except OSError:
+            pass
+
+
+def _manifest_files(summaries_dir):
+    """Sorted manifest paths currently present under a summaries dir."""
+    try:
+        names = sorted(os.listdir(summaries_dir))
+    except OSError:
+        return []
+    return [
+        os.path.join(summaries_dir, name)
+        for name in names
+        if name.startswith("manifest-") and name.endswith(".json")
+    ]
 
 
 def collect_cache_garbage(cache_dir, summaries_subdir="summaries",
-                          cutoff_days=30.0, now=None, stats=None):
+                          cutoff_days=30.0, now=None, stats=None,
+                          extra_live_sum=(), extra_live_ast=(),
+                          _after_scan=None):
     """Sweep stale content-addressed entries from a cache directory.
 
     Liveness comes from the manifests: every manifest newer than the
@@ -431,8 +504,25 @@ def collect_cache_garbage(cache_dir, summaries_subdir="summaries",
     (b) frames that are both unpinned and older than the cutoff — a
     frame younger than the cutoff is kept even when unreferenced, so
     plain (non-incremental) cache users and in-flight sessions are never
-    raced.  Returns the eviction counters; also folded into ``stats``
-    when given.
+    raced.  ``extra_live_sum`` / ``extra_live_ast`` are additional
+    pinned keys (a live daemon's in-memory warm state) treated exactly
+    like manifest pins.
+
+    Concurrency: the pinned-key read and the frame sweep run as one
+    critical section *under every fresh manifest's per-signature lock*.
+    A rival session's read-merge-write either completes before the
+    sweep (its pins are re-read and honoured) or blocks until the sweep
+    is done — and any frame such a late merge pins was just stored or
+    warm-loaded, so its refreshed mtime keeps it past the cutoff
+    regardless.  Frames and manifests vanishing mid-sweep (another GC,
+    an eviction) are tolerated, never fatal.
+
+    ``_after_scan`` is a test-only hook running between the stale-
+    manifest drop and the locked pin-read/sweep section, where the
+    pre-fix implementation raced rival merges.
+
+    Returns the eviction counters; also folded into ``stats`` when
+    given.
     """
     now = time.time() if now is None else now
     cutoff = now - float(cutoff_days) * 86400.0
@@ -443,32 +533,21 @@ def collect_cache_garbage(cache_dir, summaries_subdir="summaries",
         "gc_frames_kept": 0,
     }
     summaries_dir = os.path.join(cache_dir, summaries_subdir)
-    live_sum, live_ast = set(), set()
-    if os.path.isdir(summaries_dir):
-        for name in sorted(os.listdir(summaries_dir)):
-            if not (name.startswith("manifest-") and name.endswith(".json")):
-                continue
-            path = os.path.join(summaries_dir, name)
-            try:
-                mtime = os.path.getmtime(path)
-            except OSError:
-                continue
-            if mtime < cutoff:
-                with _file_lock(path + ".lock"):
-                    try:
-                        os.remove(path)
-                        counters["gc_manifests_dropped"] += 1
-                    except OSError:
-                        pass
-                continue
-            try:
-                with open(path) as handle:
-                    obj = json.load(handle)
-            except (OSError, ValueError):
-                continue
-            if isinstance(obj, dict):
-                live_sum.update(obj.get("frame_keys") or ())
-                live_ast.update(obj.get("ast_keys") or ())
+    for path in _manifest_files(summaries_dir):
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            continue
+        if mtime < cutoff:
+            with _file_lock(path + ".lock", stats=stats):
+                try:
+                    os.remove(path)
+                    counters["gc_manifests_dropped"] += 1
+                except OSError:
+                    pass
+
+    if _after_scan is not None:
+        _after_scan()
 
     def sweep(root, suffix, live, counter):
         if not os.path.isdir(root):
@@ -477,7 +556,11 @@ def collect_cache_garbage(cache_dir, summaries_subdir="summaries",
             subdir = os.path.join(root, sub)
             if len(sub) != 2 or not os.path.isdir(subdir):
                 continue
-            for fname in sorted(os.listdir(subdir)):
+            try:
+                fnames = sorted(os.listdir(subdir))
+            except OSError:
+                continue
+            for fname in fnames:
                 if not fname.endswith(suffix):
                     continue
                 key = fname[: -len(suffix)]
@@ -485,7 +568,7 @@ def collect_cache_garbage(cache_dir, summaries_subdir="summaries",
                 try:
                     mtime = os.path.getmtime(path)
                 except OSError:
-                    continue
+                    continue  # vanished mid-sweep: someone else's problem
                 if key in live or mtime >= cutoff:
                     counters["gc_frames_kept"] += 1
                     continue
@@ -495,13 +578,38 @@ def collect_cache_garbage(cache_dir, summaries_subdir="summaries",
                 except OSError:
                     pass
 
-    sweep(summaries_dir, ".sum", live_sum, "gc_summary_frames_dropped")
-    sweep(cache_dir, ".ast", live_ast, "gc_ast_frames_dropped")
+    live_sum, live_ast = set(extra_live_sum), set(extra_live_ast)
+    with contextlib.ExitStack() as held:
+        # Re-list and re-read pinned keys under the per-signature locks,
+        # immediately before the sweep, holding them through it: a merge
+        # that landed since the stale scan is seen, and one that lands
+        # after can only pin freshly-touched (mtime-safe) frames.
+        for path in _manifest_files(summaries_dir):
+            held.enter_context(_file_lock(path + ".lock", stats=stats))
+            try:
+                with open(path) as handle:
+                    obj = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if isinstance(obj, dict):
+                live_sum.update(obj.get("frame_keys") or ())
+                live_ast.update(obj.get("ast_keys") or ())
+        sweep(summaries_dir, ".sum", live_sum, "gc_summary_frames_dropped")
+        sweep(cache_dir, ".ast", live_ast, "gc_ast_frames_dropped")
     if stats is not None:
         for name, value in counters.items():
             if value:
                 stats.add(name, value)
     return counters
+
+
+def touch_entry(path):
+    """Refresh an entry's mtime (GC keeps what warm runs actually use);
+    best-effort, a vanished or read-only entry is not an error."""
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass
 
 
 def corrupt_entry(path, mode="truncate"):

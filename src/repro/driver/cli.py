@@ -5,6 +5,9 @@ Usage::
     xgcc --checker free --checker lock file1.c file2.c
     xgcc --metal my_checker.metal --rank statistical src/*.c
     xgcc --checker lock --jobs 4 --cache-dir .xgcc-cache src/*.c
+    xgcc --checker lock --watch src --cache-dir .xgcc-cache \\
+         --daemon-socket /tmp/xgccd.sock          # run the daemon
+    xgcc --daemon-socket /tmp/xgccd.sock --daemon-request analyze
     xgcc --list-checkers
 """
 
@@ -123,6 +126,28 @@ def build_parser():
         "--max-seconds-per-root", type=float, metavar="S",
         help="per-root wall-clock budget (see --max-steps-per-root)",
     )
+    parser.add_argument(
+        "--watch", action="append", default=[], metavar="DIR",
+        help="run as an analysis daemon (xgccd) watching DIR for edits "
+        "(repeatable); requires --cache-dir and --daemon-socket, implies "
+        "--incremental; serves requests until a shutdown request",
+    )
+    parser.add_argument(
+        "--daemon-socket", metavar="PATH",
+        help="UNIX socket path the daemon listens on (with --watch) or a "
+        "client request goes to (with --daemon-request)",
+    )
+    parser.add_argument(
+        "--daemon-request", metavar="OP",
+        choices=["analyze", "stats", "gc", "ping", "shutdown"],
+        help="client mode: send OP to the daemon at --daemon-socket and "
+        "print its answer ('analyze' prints ranked reports, exit 1 when "
+        "any; other ops print JSON)",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="daemon idle fingerprint-poll interval (default 0.5)",
+    )
     parser.add_argument("--stats", action="store_true",
                         help="print engine + driver stats")
     parser.add_argument(
@@ -231,12 +256,129 @@ def _dump_mode(args):
     return 0
 
 
+def _read_metal_sources(args):
+    metal_sources = []
+    for path in args.metal:
+        with open(path) as handle:
+            metal_sources.append((handle.read(), path))
+    return metal_sources
+
+
+def _daemon_client_mode(parser, args):
+    """``xgcc --daemon-socket S --daemon-request OP``: one request to a
+    running daemon, answer printed, daemon exit-code conventions."""
+    import json
+
+    from repro.driver.daemon import DaemonClient, DaemonError
+
+    if not args.daemon_socket:
+        parser.error("--daemon-request requires --daemon-socket")
+    try:
+        with DaemonClient(args.daemon_socket) as client:
+            fields = {}
+            if args.daemon_request == "gc":
+                fields["days"] = args.cache_gc_days
+            reply = client.request(args.daemon_request, **fields)
+    except DaemonError as error:
+        print("xgcc: %s" % error, file=sys.stderr)
+        return 2
+    if not reply.get("ok"):
+        print("xgcc: daemon error: %s" % reply.get("error"), file=sys.stderr)
+        return 2
+    if args.daemon_request == "analyze":
+        # Print exactly what a cold run would: the ranked report lines.
+        sys.stdout.write(reply.get("reports", ""))
+        for entry in reply.get("degradations", ()):
+            print("xgcc: degraded: %s" % entry, file=sys.stderr)
+        return 1 if reply.get("report_count") else 0
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def _daemon_mode(parser, args):
+    """``xgcc --watch DIR --daemon-socket S``: run xgccd in the
+    foreground until a shutdown request arrives."""
+    from repro.driver.daemon import XgccDaemon
+    from repro.driver.session import IncrementalSession, session_signature
+
+    if not args.daemon_socket:
+        parser.error("--watch requires --daemon-socket")
+    if not args.cache_dir:
+        parser.error("--watch requires --cache-dir")
+
+    metal_sources = _read_metal_sources(args)
+    extensions = _build_extensions(args.checker, metal_sources)
+    if not extensions:
+        parser.error("no checkers selected (use --checker or --metal)")
+
+    defines = {}
+    for item in args.define:
+        name, __, value = item.partition("=")
+        defines[name] = value or "1"
+    options = _make_options(args)
+    signature = session_signature(
+        checker_names=args.checker,
+        metal_texts=[text for text, __ in metal_sources],
+        options=options,
+    )
+    session = IncrementalSession(args.cache_dir, signature,
+                                 pin_warm_state=True)
+    factory = functools.partial(
+        _build_extensions, tuple(args.checker), tuple(metal_sources)
+    )
+    daemon = XgccDaemon(
+        watch_roots=args.watch,
+        extension_factory=factory,
+        session=session,
+        socket_path=args.daemon_socket,
+        files=args.files,
+        include_paths=args.include,
+        defines=defines,
+        cache_dir=args.cache_dir,
+        options=options,
+        rank=args.rank,
+        jobs=args.jobs,
+        worker_timeout=args.worker_timeout,
+        poll_interval=args.poll_interval,
+    )
+    print("xgccd: watching %s, serving on %s"
+          % (", ".join(args.watch) or "<files>", args.daemon_socket),
+          file=sys.stderr)
+    daemon.serve_forever()
+    if args.stats:
+        for line in daemon.stats.format_lines():
+            print("# %s" % line, file=sys.stderr)
+    if args.stats_json:
+        daemon.stats.dump_json(args.stats_json)
+    return 0
+
+
+def _make_options(args):
+    return AnalysisOptions(
+        interprocedural=not args.no_interprocedural,
+        false_path_pruning=not args.no_false_path_pruning,
+        caching=not args.no_caching,
+        kills=not args.no_kills,
+        synonyms=not args.no_synonyms,
+        max_steps_per_root=args.max_steps_per_root,
+        max_paths_per_root=args.max_paths_per_root,
+        max_seconds_per_root=args.max_seconds_per_root,
+        root_error_policy="degrade" if args.keep_going else "raise",
+    )
+
+
 def _run(parser, args):
 
     if args.list_checkers:
         for name in sorted(ALL_CHECKERS):
             print(name)
         return 0
+
+    if args.daemon_request:
+        return _daemon_client_mode(parser, args)
+
+    if args.watch:
+        return _daemon_mode(parser, args)
 
     if args.cache_gc and not args.cache_dir:
         parser.error("--cache-gc requires --cache-dir")
@@ -276,10 +418,7 @@ def _run(parser, args):
     if args.dump_cfg or args.dump_dot or args.dump_callgraph:
         return _dump_mode(args)
 
-    metal_sources = []
-    for path in args.metal:
-        with open(path) as handle:
-            metal_sources.append((handle.read(), path))
+    metal_sources = _read_metal_sources(args)
     extensions = _build_extensions(args.checker, metal_sources)
     if not extensions and not args.infer:
         parser.error("no checkers selected (use --checker, --metal, or --infer)")
@@ -298,17 +437,7 @@ def _run(parser, args):
             if value:
                 project.stats.add(name, value)
 
-    options = AnalysisOptions(
-        interprocedural=not args.no_interprocedural,
-        false_path_pruning=not args.no_false_path_pruning,
-        caching=not args.no_caching,
-        kills=not args.no_kills,
-        synonyms=not args.no_synonyms,
-        max_steps_per_root=args.max_steps_per_root,
-        max_paths_per_root=args.max_paths_per_root,
-        max_seconds_per_root=args.max_seconds_per_root,
-        root_error_policy="degrade" if args.keep_going else "raise",
-    )
+    options = _make_options(args)
 
     reports = []
     result = None

@@ -339,6 +339,7 @@ def _absorb(project, task, result):
             # good entry): recursion depth is bounded at one.
             return _absorb(project, task, pass1_worker(task))
         stats.add("cache_hits")
+        astcache.touch_entry(result.cache_path)
         compiled = CompiledUnit(
             result.filename, unit, source_bytes, len(data), from_cache=True
         )

@@ -131,6 +131,20 @@ class Project:
             self, paths, jobs=jobs, worker_timeout=worker_timeout
         )
 
+    def adopt_unit(self, compiled):
+        """Register an already-compiled unit (warm daemon reuse).
+
+        The analysis daemon keeps :class:`CompiledUnit` objects for
+        unchanged files pinned in memory across edit bursts; adopting
+        one costs two list appends — no preprocess, no parse, no cache
+        probe.  Registration order is the caller's responsibility (the
+        daemon walks files in sorted order, matching a cold run).
+        """
+        self.compiled.append(compiled)
+        self._register(compiled.unit, compiled.filename)
+        self.stats.add("units_adopted")
+        return compiled
+
     def load_emitted(self, path):
         """Pass 2 entry: reassemble a pass-1 AST file.
 

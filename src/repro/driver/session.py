@@ -128,13 +128,82 @@ class IncrementalSession:
     frames live on disk, not in the object).
     """
 
-    def __init__(self, cache_dir, signature, stats=None):
+    #: In-memory frame-pin cap (pinned sessions only).  Content-addressed
+    #: keys accrete as fingerprints churn; beyond the cap the oldest pins
+    #: fall out (the disk store still has them).
+    PIN_CAP = 8192
+
+    def __init__(self, cache_dir, signature, stats=None,
+                 pin_warm_state=False):
         self.store = astcache.SummaryCache(
             os.path.join(cache_dir, "summaries")
         )
         self.signature = signature
         #: Optional DriverStats override; defaults to the project's.
         self.stats = stats
+        #: Long-lived (daemon) mode: keep the manifest and replayed
+        #: artifact frames pinned in memory, so a warm run pays neither
+        #: a manifest JSON load nor per-frame disk reads.  Coherent with
+        #: rival sessions by stat-invalidation (any on-disk manifest
+        #: change reloads it) and with cache GC by touching the on-disk
+        #: frame on every in-memory hit.
+        self.pin_warm_state = pin_warm_state
+        self._pinned_manifest = None
+        self._pinned_manifest_stat = None
+        self._pinned_frames = {}
+
+    # -- pinned warm state -------------------------------------------------
+
+    def _manifest_stat(self):
+        """The on-disk manifest's identity (None when absent)."""
+        try:
+            st = os.stat(self.store.manifest_path(self.signature))
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size, st.st_ino)
+
+    def _load_manifest(self, stats):
+        """The manifest fingerprints, through the in-memory pin when
+        ``pin_warm_state`` is set and the on-disk file is unchanged (a
+        rival session's merge shows up as a stat change and reloads)."""
+        if not self.pin_warm_state:
+            return self.store.load_manifest(self.signature)
+        stat = self._manifest_stat()
+        if stat is not None and stat == self._pinned_manifest_stat:
+            stats.add("manifest_pin_hits")
+            return self._pinned_manifest
+        manifest = self.store.load_manifest(self.signature)
+        self._pinned_manifest = manifest
+        self._pinned_manifest_stat = stat if manifest is not None else None
+        return manifest
+
+    def _repin_manifest(self):
+        """Re-pin the manifest after this session wrote it (one JSON
+        read per analyzed burst; warm requests then hit the pin)."""
+        if not self.pin_warm_state:
+            return
+        self._pinned_manifest = self.store.load_manifest(self.signature)
+        self._pinned_manifest_stat = (
+            self._manifest_stat() if self._pinned_manifest is not None
+            else None
+        )
+
+    def _pin_frame(self, key, artifact):
+        if not self.pin_warm_state:
+            return
+        self._pinned_frames[key] = artifact
+        while len(self._pinned_frames) > self.PIN_CAP:
+            self._pinned_frames.pop(next(iter(self._pinned_frames)))
+
+    def _unpin_frame(self, key):
+        self._pinned_frames.pop(key, None)
+
+    def pinned_frame_keys(self):
+        """Keys the in-memory pin currently holds (a daemon's `gc`
+        request passes them to :func:`repro.driver.cache.
+        collect_cache_garbage` as extra live keys, so on-disk GC never
+        collects what this process still replays)."""
+        return sorted(self._pinned_frames)
 
     # -- scheduling --------------------------------------------------------
 
@@ -162,7 +231,7 @@ class IncrementalSession:
             else sorted(graph.functions)
         )
 
-        manifest = self.store.load_manifest(self.signature)
+        manifest = self._load_manifest(stats)
         if manifest is None:
             stats.add("incremental_cold_runs")
             edited = set(fingerprints)
@@ -299,8 +368,11 @@ class IncrementalSession:
                     name = getattr(ext, "name", repr(ext))
                     key = summary_key(
                         self.signature, ext_index, name, root, old_fp)
+                    pinned = self._pinned_frames.get(key)
                     try:
-                        if self.store.lookup(key) is not None:
+                        if pinned is not None:
+                            delta = pinned.delta
+                        elif self.store.lookup(key) is not None:
                             delta = self.store.load(key).delta
                     except (OSError, astcache.CacheCorruption):
                         delta = None
@@ -486,12 +558,22 @@ class IncrementalSession:
                     self.signature, ext_index, name, root,
                     fingerprints[root],
                 )
+                pinned = self._pinned_frames.get(key)
+                if pinned is not None:
+                    # In-memory warm hit: no disk read, but refresh the
+                    # on-disk frame's mtime so GC still sees it in use.
+                    stats.add("summary_memory_hits")
+                    self.store.touch(key)
+                    loaded.append((ext_index, key, pinned))
+                    continue
                 try:
                     if self.store.lookup(key) is None:
                         stats.add("summary_misses")
                         loaded = None
                         break
-                    loaded.append((ext_index, key, self.store.load(key)))
+                    artifact = self.store.load(key)
+                    self._pin_frame(key, artifact)
+                    loaded.append((ext_index, key, artifact))
                 except (OSError, astcache.CacheCorruption) as err:
                     stats.add("summary_evictions")
                     stats.record_degradation(
@@ -500,6 +582,7 @@ class IncrementalSession:
                         "re-analyzed" % (name, root, err),
                     )
                     self.store.evict(key)
+                    self._unpin_frame(key)
                     loaded = None
                     break
             if loaded is None:
@@ -569,6 +652,7 @@ class IncrementalSession:
                 artifact.root, fingerprint,
             )
             self.store.store(key, artifact)
+            self._pin_frame(key, artifact)
             used.add(key)
             stats.add("summary_stores")
         ast_keys = ()
@@ -584,3 +668,4 @@ class IncrementalSession:
             ast_keys=ast_keys,
             stats=stats,
         )
+        self._repin_manifest()

@@ -22,8 +22,14 @@ from contextlib import contextmanager
 #: skew instead of misreading.  3: ``annotation_delta_*`` counters
 #: (incremental global checkers), ``manifest_merges``, ``gc_*`` eviction
 #: counters, and explicit replayed-vs-analyzed provenance in the engine
-#: stats of incremental runs.
-SCHEMA_VERSION = 3
+#: stats of incremental runs.  4: the daemon counters and timers
+#: (``daemon_requests``, ``daemon_analyze_*``, ``daemon_bursts``,
+#: ``daemon_*_errors``, ``daemon_analyze`` / ``daemon_fingerprint``
+#: phases), the warm-state pin counters (``manifest_pin_hits``,
+#: ``summary_memory_hits``, ``units_adopted``), and
+#: ``manifest_lock_fallbacks`` (lockfile fallback where ``fcntl`` is
+#: unavailable).
+SCHEMA_VERSION = 4
 
 
 class DriverStats:

@@ -1,0 +1,136 @@
+"""Content-fingerprint tree watching for the analysis daemon.
+
+The daemon (:mod:`repro.driver.daemon`) must notice edits without
+trusting mtimes: editors, build systems, and ``git checkout`` all
+produce mtime patterns that lie in both directions (touched-but-equal
+files, rewritten-with-old-stamp files).  :class:`TreeWatcher` therefore
+fingerprints file *content* — SHA-256 over the raw bytes — and reports a
+file as changed exactly when its digest differs from the last scan.
+That is the same no-trust discipline the tier-1 cache applies to
+preprocessed tokens, applied one level earlier and much cheaper (no
+tokenization), so a full re-scan per request is still far below pass-1
+probing cost.
+
+Two input paths feed the watcher:
+
+- ``poll()`` — re-hash the watched set (default: everything; or just
+  the paths a change event named).  This is the authoritative diff.
+- ``notify(paths)`` — an optional change-event hook (an editor plugin,
+  inotify shim, or test) queues paths for the next poll, which then
+  re-hashes only those plus any files never seen before.  Events are a
+  hint, never a source of truth: the content hash still decides.
+
+A watcher poll is an instrumented fault site (``daemon.watcher``): an
+injected stall/error raises :class:`WatcherError`, which the daemon
+degrades around (serve last-known state, count it) instead of wedging.
+"""
+
+import hashlib
+import os
+
+from repro import faults
+
+#: File suffixes the watcher fingerprints by default: the analyzed
+#: translation units and anything they can ``#include``.
+WATCHED_SUFFIXES = (".c", ".h")
+
+
+class WatcherError(Exception):
+    """A poll that could not complete (injected stall, unreadable
+    tree); the daemon degrades and keeps serving."""
+
+
+def fingerprint_file(path):
+    """SHA-256 hex digest of a file's bytes, or None when unreadable
+    (deleted mid-scan, permissions): an unreadable file simply reads as
+    *absent*, which the diff logic treats as a removal."""
+    try:
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+    except OSError:
+        return None
+
+
+class TreeWatcher:
+    """Polling content-fingerprint watcher over directories + files.
+
+    ``roots`` are directories walked recursively for
+    :data:`WATCHED_SUFFIXES`; ``files`` are watched explicitly whatever
+    their suffix.  State is ``{path: digest}`` from the last completed
+    poll; :meth:`poll` returns the set of paths whose digest changed
+    (created, edited, or removed) since then.
+    """
+
+    def __init__(self, roots=(), files=(), suffixes=WATCHED_SUFFIXES,
+                 stats=None):
+        self.roots = [os.path.abspath(root) for root in roots]
+        self.files = [os.path.abspath(path) for path in files]
+        self.suffixes = tuple(suffixes)
+        self.stats = stats
+        #: path -> digest as of the last completed poll.
+        self.state = {}
+        #: Paths a change event named since the last poll.
+        self._notified = set()
+
+    # -- discovery ---------------------------------------------------------
+
+    def watched_files(self):
+        """The sorted watch set as of right now: explicit files plus a
+        recursive suffix walk of every root directory."""
+        found = set(self.files)
+        for root in self.roots:
+            for dirpath, dirnames, filenames in os.walk(root):
+                dirnames.sort()
+                for name in filenames:
+                    if name.endswith(self.suffixes):
+                        found.add(os.path.join(dirpath, name))
+        return sorted(found)
+
+    # -- change detection --------------------------------------------------
+
+    def notify(self, paths):
+        """Change-event hook: queue ``paths`` for the next poll.  The
+        next poll re-hashes only these (plus never-seen files) instead
+        of the whole tree — events narrow the scan, content decides."""
+        for path in paths:
+            self._notified.add(os.path.abspath(path))
+
+    def poll(self, full=True):
+        """Diff the tree against the last poll; returns changed paths.
+
+        ``full=False`` restricts hashing to the notified set plus any
+        newly appearing / disappearing paths (the cheap event-driven
+        mode); ``full=True`` re-hashes everything.  Raises
+        :class:`WatcherError` when a fault is injected at
+        ``daemon.watcher`` — the poll's state is untouched, so the next
+        poll sees every edit this one missed.
+        """
+        spec = faults.fires("daemon.watcher", key=self.roots[0]
+                            if self.roots else None)
+        if spec is not None:
+            raise WatcherError(
+                "injected watcher %s" % spec.get("mode", "stall")
+            )
+        current = self.watched_files()
+        notified, self._notified = self._notified, set()
+        changed = set()
+        # Removals: watched before, gone (or unreadable) now.
+        for path in set(self.state) - set(current):
+            changed.add(path)
+            del self.state[path]
+        for path in current:
+            if not full and path in self.state and path not in notified:
+                continue
+            digest = fingerprint_file(path)
+            if digest is None:
+                if self.state.pop(path, None) is not None:
+                    changed.add(path)
+                continue
+            if self.state.get(path) != digest:
+                changed.add(path)
+                self.state[path] = digest
+        if self.stats is not None:
+            self.stats.add("daemon_polls")
+            if changed:
+                self.stats.add("daemon_files_changed", len(changed))
+        return changed

@@ -39,7 +39,13 @@ site                        fires where                    key
 ``cache.corrupt``           after an AST-cache store       cache key
 ``summary.corrupt``         after a summary-frame store    summary key
 ``engine.budget``           every budget check (raises)    root function
+``daemon.watcher``          every watcher poll (raises)    watch root
+``daemon.request``          daemon request decode (raises) request op
 ==========================  =============================  ==================
+
+(The ``summary.manifest`` site simulates a rival session's manifest
+merge landing first; see :meth:`repro.driver.cache.SummaryCache.
+store_manifest`.)
 
 Determinism guarantees:
 
