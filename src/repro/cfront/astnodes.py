@@ -629,6 +629,10 @@ def execution_order(node):
 
 def contains_identifier(node, name):
     """True if identifier ``name`` occurs anywhere inside ``node``."""
+    if isinstance(node, Ident):
+        # Leaf node: walk() would yield only the node itself, so skip the
+        # generator machinery -- tracked objects are usually bare idents.
+        return node.name == name
     return any(isinstance(n, Ident) and n.name == name for n in node.walk())
 
 

@@ -28,8 +28,11 @@ from contextlib import contextmanager
 #: phases), the warm-state pin counters (``manifest_pin_hits``,
 #: ``summary_memory_hits``, ``units_adopted``), and
 #: ``manifest_lock_fallbacks`` (lockfile fallback where ``fcntl`` is
-#: unavailable).
-SCHEMA_VERSION = 4
+#: unavailable).  5: the compiled-matcher counters in the engine stats
+#: (``matcher_table_hits``, ``matcher_miss_memo_hits``,
+#: ``matcher_fallbacks``, ``matcher_compile_s`` plus per-extension
+#: ``matcher_compile_s:<name>`` timers; docs/MATCHER.md).
+SCHEMA_VERSION = 5
 
 
 class DriverStats:

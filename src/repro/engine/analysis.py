@@ -6,6 +6,7 @@ at a time, starting at the callgraph roots.  Composition happens across
 sequential runs through the shared :class:`AnnotationStore`.
 """
 
+import os
 import sys
 import time
 from contextlib import nullcontext
@@ -70,6 +71,7 @@ class AnalysisOptions:
         max_seconds_per_root=None,
         root_error_policy="raise",
         capture_root_artifacts=False,
+        matcher=None,
     ):
         self.interprocedural = interprocedural
         self.false_path_pruning = false_path_pruning
@@ -108,6 +110,19 @@ class AnalysisOptions:
         # artifacts in serial order (the driver's incremental session and
         # the parallel merge both do).
         self.capture_root_artifacts = capture_root_artifacts
+        # Pattern-matching engine: "compiled" runs the table-driven
+        # matchers from repro.metal.compile (docs/MATCHER.md);
+        # "interp" runs the tree-walking oracle in repro.metal.patterns.
+        # Both produce byte-identical reports/artifacts/deltas; the
+        # XGCC_MATCHER environment variable overrides the default so CI
+        # can run whole suites against the oracle.
+        if matcher is None:
+            matcher = os.environ.get("XGCC_MATCHER", "compiled")
+        if matcher not in ("compiled", "interp"):
+            raise ValueError(
+                "matcher must be 'compiled' or 'interp', not %r" % (matcher,)
+            )
+        self.matcher = matcher
 
 
 class AnalysisBudgetExceeded(Exception):
@@ -281,7 +296,20 @@ class Analysis:
             "calls_followed": 0,
             "errors": 0,
             "degraded_roots": 0,
+            "matcher_table_hits": 0,
+            "matcher_miss_memo_hits": 0,
+            "matcher_fallbacks": 0,
+            "matcher_compile_s": 0.0,
         }
+        # Matcher counters accumulate in plain attributes (a dict update
+        # per probe would double the cost of the miss path they measure)
+        # and fold into ``stats`` when a run finishes.
+        self._m_table_hits = 0
+        self._m_miss_memo_hits = 0
+        self._m_fallbacks = 0
+        # The active extension's CompiledExtension, or None under
+        # --matcher=interp (set per run_one).
+        self._compiled = None
         #: DegradedRoot entries for roots abandoned mid-run.
         self.degraded = []
         #: ``(extension_index, root, first_report, end_report)`` spans over
@@ -357,6 +385,15 @@ class Analysis:
         self._table = SummaryTable()
         self._steps = 0
         self._faults_active = faults.active()
+        if self.options.matcher == "compiled":
+            compile_start = time.perf_counter()
+            self._compiled = ext.compiled()
+            elapsed = time.perf_counter() - compile_start
+            self.stats["matcher_compile_s"] += elapsed
+            per_ext = "matcher_compile_s:" + ext.name
+            self.stats[per_ext] = self.stats.get(per_ext, 0.0) + elapsed
+        else:
+            self._compiled = None
         if roots is None:
             if self.options.interprocedural:
                 roots = self.callgraph.roots()
@@ -402,6 +439,9 @@ class Analysis:
                 self._capture_artifact(ext, root, start, degraded_before)
             if self._truncated:
                 break
+        self.stats["matcher_table_hits"] = self._m_table_hits
+        self.stats["matcher_miss_memo_hits"] = self._m_miss_memo_hits
+        self.stats["matcher_fallbacks"] = self._m_fallbacks
         return self._table
 
     def _apply_replay(self, resolved):
@@ -720,6 +760,10 @@ class Analysis:
     # -- extension application (§5.1) ----------------------------------------------------
 
     def _apply_extension(self, fctx, sm, point, creation_site, end_of_path=False):
+        if self._compiled is not None:
+            return self._apply_extension_compiled(
+                sm, point, creation_site, end_of_path
+            )
         ext = sm.extension
         matched_this_point = False
         touched = set()
@@ -750,6 +794,93 @@ class Analysis:
                 self._execute_global_rule(
                     sm, rule, bindings, point, creation_site, touched
                 )
+        return matched_this_point
+
+    def _apply_extension_compiled(self, sm, point, creation_site, end_of_path):
+        """The compiled twin of :meth:`_apply_extension`: identical rule
+        order, first-match-wins for instances, all-matches for globals --
+        only dispatch and matching change (docs/MATCHER.md)."""
+        compiled = self._compiled
+        cls = point.__class__
+        if not compiled.any_candidates(cls, end_of_path):
+            # No rule in any source state admits this node class: skip the
+            # instance loop and the global probe outright.
+            self._m_miss_memo_hits += 1
+            return False
+        matched_this_point = False
+        touched = set()
+        # (var_name, value) -> candidate tuple for this point's node class.
+        # Instances overwhelmingly share a state, so after the first probe
+        # every further instance costs one dict hit (the "no candidates"
+        # miss-memo from docs/MATCHER.md).
+        cand_memo = {}
+        miss_hits = 0
+        table_hits = 0
+
+        for inst in list(sm.active_vars):
+            if inst.inactive or inst not in sm.active_vars:
+                continue
+            if inst.created_at == creation_site:
+                # §3.1: no triggering at the instance's creation site.
+                continue
+            mkey = (inst.var_name, inst.value)
+            candidates = cand_memo.get(mkey)
+            if candidates is None:
+                table = compiled.specific_table(inst.var_name, inst.value)
+                if table is None:
+                    candidates = ()
+                else:
+                    candidates = table.candidates(cls, end_of_path)
+                cand_memo[mkey] = candidates
+            if not candidates:
+                miss_hits += 1
+                continue
+            table_hits += 1
+            for crule in candidates:
+                if crule.matcher is None:
+                    self._m_fallbacks += 1
+                    bindings = {inst.var_name: inst.obj}
+                    mctx = MatchContext(point, bindings, self, end_of_path)
+                    if not crule.rule.pattern.match(point, bindings, mctx):
+                        continue
+                else:
+                    bindings = crule.match(
+                        point, self, end_of_path, inst.var_name, inst.obj
+                    )
+                    if bindings is None:
+                        continue
+                matched_this_point = True
+                touched.add((inst.var_name, inst.obj_key))
+                self._execute_instance_rule(sm, crule.rule, inst, bindings, point)
+                break
+
+        table = compiled.global_table(sm.gstate)
+        if table is None:
+            self._m_miss_memo_hits += miss_hits + 1
+            self._m_table_hits += table_hits
+            return matched_this_point
+        candidates = table.candidates(cls, end_of_path)
+        if not candidates:
+            self._m_miss_memo_hits += miss_hits + 1
+            self._m_table_hits += table_hits
+            return matched_this_point
+        self._m_miss_memo_hits += miss_hits
+        self._m_table_hits += table_hits + 1
+        for crule in candidates:
+            if crule.matcher is None:
+                self._m_fallbacks += 1
+                bindings = {}
+                mctx = MatchContext(point, bindings, self, end_of_path)
+                if not crule.rule.pattern.match(point, bindings, mctx):
+                    continue
+            else:
+                bindings = crule.match(point, self, end_of_path)
+                if bindings is None:
+                    continue
+            matched_this_point = True
+            self._execute_global_rule(
+                sm, crule.rule, bindings, point, creation_site, touched
+            )
         return matched_this_point
 
     def _execute_instance_rule(self, sm, rule, inst, bindings, point):
@@ -1003,6 +1134,33 @@ class Analysis:
     def _apply_end_of_path(self, sm, inst, end_point):
         ext = sm.extension
         if inst not in sm.active_vars or inst.inactive:
+            return
+        compiled = self._compiled
+        if compiled is not None:
+            table = compiled.specific_table(inst.var_name, inst.value)
+            if table is None:
+                self._m_miss_memo_hits += 1
+                return
+            self._m_table_hits += 1
+            for crule in table.eop_mentions:
+                if crule.matcher is None:
+                    self._m_fallbacks += 1
+                    bindings = {inst.var_name: inst.obj}
+                    mctx = MatchContext(
+                        end_point, bindings, self, end_of_path=True
+                    )
+                    if not crule.rule.pattern.match(end_point, bindings, mctx):
+                        continue
+                else:
+                    bindings = crule.match(
+                        end_point, self, True, inst.var_name, inst.obj
+                    )
+                    if bindings is None:
+                        continue
+                self._execute_instance_rule(
+                    sm, crule.rule, inst, bindings, end_point
+                )
+                break
             return
         for rule in ext.specific_transitions(inst.value, inst.var_name):
             if not rule.pattern.mentions_end_of_path():

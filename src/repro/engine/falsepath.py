@@ -113,19 +113,24 @@ class _Closure:
                 enemies.discard(ra)
                 enemies.add(rb)
         # Congruence: re-signature composites; any collision means two
-        # composites became equal.
+        # composites became equal.  Stored signatures are always
+        # canonical (this loop re-canonicalizes eagerly), so after
+        # remapping ra -> rb the only signatures whose canonical form
+        # changes are those mentioning ra, and the change is exactly the
+        # substitution ra -> rb -- no find() calls needed.
         pending = []
         for signature, key in list(self.sig.items()):
+            if ra not in signature:
+                continue
             op = signature[0]
-            reps = tuple(self.find(r) for r in signature[1:])
+            reps = tuple(rb if r == ra else r for r in signature[1:])
             new_signature = (op,) + reps
-            if new_signature != signature:
-                del self.sig[signature]
-                existing = self.sig.get(new_signature)
-                if existing is not None and self.find(existing) != self.find(key):
-                    pending.append((existing, key))
-                else:
-                    self.sig[new_signature] = key
+            del self.sig[signature]
+            existing = self.sig.get(new_signature)
+            if existing is not None and self.find(existing) != self.find(key):
+                pending.append((existing, key))
+            else:
+                self.sig[new_signature] = key
         for x, y in pending:
             self.union(x, y)
 
@@ -412,7 +417,6 @@ class PathConstraints:
         return graph
 
     def _search(self, start, goal, need_strict):
-        graph = self._relation_graph()
         find = self.closure.find
         start, goal = find(start), find(goal)
         ca, cb = self.closure.consts.get(start), self.closure.consts.get(goal)
@@ -420,6 +424,12 @@ class PathConstraints:
             return ca < cb if need_strict else ca <= cb
         if start == goal:
             return not need_strict
+        # Without recorded relations the graph holds only the implicit
+        # constant chain, and at most one endpoint is constant here -- no
+        # path can reach the non-constant endpoint.
+        if not self.relations:
+            return False
+        graph = self._relation_graph()
         seen = set()
         stack = [(start, False)]
         while stack:

@@ -56,8 +56,16 @@ class BasePattern(Pattern):
     def __init__(self, pattern_ast, source=None):
         self.pattern_ast = pattern_ast
         self.source = source
+        # Hole-free patterns cannot extend bindings, so matching them
+        # needs no trial-copy/commit dance (precomputed once: the
+        # pattern AST is immutable after construction).
+        self.has_holes = pattern_ast is not None and any(
+            isinstance(node, ast.Hole) for node in pattern_ast.walk()
+        )
 
     def match(self, point, bindings, context):
+        if not self.has_holes:
+            return _unify(self.pattern_ast, point, bindings)
         trial = dict(bindings)
         if _unify(self.pattern_ast, point, trial):
             bindings.clear()

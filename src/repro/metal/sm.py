@@ -113,6 +113,14 @@ class Transition:
 class Extension:
     """A metal extension: state variables, values, and transitions."""
 
+    # Derived-structure caches (per-state transition grouping, the
+    # end-of-path flag, the compiled matcher tables).  Each cache entry
+    # is ``(mutation_key, value)``; see :meth:`_mutation_key`.  Class
+    # attributes so unpickled instances start clean.
+    _groups_cache = None
+    _eop_cache = None
+    _compiled_cache = None
+
     def __init__(self, name):
         self.name = name
         self.global_states = []  # declared order; first is the initial state
@@ -254,23 +262,71 @@ class Extension:
             return self.global_states[0]
         return "start"
 
+    def _mutation_key(self):
+        """Cheap fingerprint of the transition list used to invalidate
+        the derived-structure caches.  Appends, inserts and removals all
+        change it; replacing an element *in place* at the same length
+        does not (no seed checker does that -- they go through
+        :meth:`transition` or ``transitions.insert``)."""
+        transitions = self.transitions
+        return (id(transitions), len(transitions))
+
+    def _grouping(self):
+        key = self._mutation_key()
+        cache = self._groups_cache
+        if cache is None or cache[0] != key:
+            groups = {}
+            for t in self.transitions:
+                groups.setdefault((t.source.var, t.source.value), []).append(t)
+            cache = (key, {k: tuple(v) for k, v in groups.items()})
+            self._groups_cache = cache
+        return cache[1]
+
     def transitions_from(self, ref):
-        return [t for t in self.transitions if t.source == ref]
+        return self._grouping().get((ref.var, ref.value), ())
 
     def global_transitions(self, value):
-        return self.transitions_from(StateRef(GLOBAL, value))
+        return self._grouping().get((GLOBAL, value), ())
 
     def specific_transitions(self, value, var_name=None):
         """Transitions out of ``<var>.<value>``; ``var_name`` defaults to
         the first declared state variable (the common one-variable case)."""
         if var_name is None:
             if self.specific_var is None:
-                return []
+                return ()
             var_name = self.specific_var[0]
-        return self.transitions_from(StateRef(var_name, value))
+        return self._grouping().get((var_name, value), ())
 
     def uses_end_of_path(self):
-        return any(t.pattern.mentions_end_of_path() for t in self.transitions)
+        key = self._mutation_key()
+        cache = self._eop_cache
+        if cache is None or cache[0] != key:
+            cache = (
+                key,
+                any(t.pattern.mentions_end_of_path() for t in self.transitions),
+            )
+            self._eop_cache = cache
+        return cache[1]
+
+    def compiled(self):
+        """The table-driven matcher set for this extension (lazily built
+        by :mod:`repro.metal.compile`, invalidated when the transition
+        list changes)."""
+        key = self._mutation_key()
+        cache = self._compiled_cache
+        if cache is None or cache[0] != key:
+            from repro.metal.compile import CompiledExtension
+
+            cache = (key, CompiledExtension(self))
+            self._compiled_cache = cache
+        return cache[1]
+
+    def __getstate__(self):
+        """Derived caches hold compiled closures; never pickle them."""
+        state = dict(self.__dict__)
+        for attr in ("_groups_cache", "_eop_cache", "_compiled_cache"):
+            state.pop(attr, None)
+        return state
 
     def __repr__(self):
         return "<Extension %s: %d transitions>" % (self.name, len(self.transitions))
