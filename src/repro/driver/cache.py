@@ -30,6 +30,23 @@ read: a truncated, garbled, or version-skewed entry raises
 run, and the driver evicts it and re-derives the content (re-parse for
 tier 1, re-analyze for tier 2).  Bare-unit pickles from older emit dirs
 still load -- they just have no checksum to verify.
+
+Where the bytes live is a separate concern: both caches speak to an
+artifact-store *backend* (:mod:`repro.driver.store` -- LocalStore /
+RemoteStore / TieredStore), so the same verification, eviction, and
+manifest-merge discipline runs against a local directory, a shared
+remote store, or a write-through overlay of both.  The directory-path
+constructors (``AstCache(dir)`` / ``SummaryCache(dir)``) keep the
+original on-disk layout bit for bit.
+
+Manifest writes use ETag compare-and-swap with bounded retry
+(:data:`repro.driver.store.MANIFEST_CAS_RETRIES`): the read-merge-write
+cycle re-reads and re-merges on conflict instead of holding a
+filesystem lock across the cycle, which is what lets rival sessions on
+*different machines* share one manifest through the remote store.  On a
+local backend the CAS itself is still serialized under the
+per-signature :func:`_file_lock`, so each round commits exactly one
+writer and N contenders converge in at most N rounds.
 """
 
 import contextlib
@@ -45,6 +62,8 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
 from repro import faults
+from repro.driver import store as storemod
+from repro.driver.store import StoreError  # noqa: F401  (re-exported)
 from repro.engine.summaries import SUMMARY_VERSION
 
 #: Bump when parser/astnodes change shape: old cache entries stop matching.
@@ -170,54 +189,106 @@ def unpack(data):
 
 
 class AstCache:
-    """Content-addressed store of emitted ASTs under one directory."""
+    """Content-addressed store of emitted ASTs behind one backend.
 
-    def __init__(self, root):
+    ``AstCache(directory)`` keeps the original filesystem layout;
+    ``AstCache(backend=...)`` runs the same cache against any
+    :mod:`repro.driver.store` backend (remote, tiered).
+    """
+
+    def __init__(self, root=None, backend=None):
         self.root = root
+        self.backend = (
+            backend if backend is not None
+            else storemod.LocalStore(ast_dir=root)
+        )
 
     def path_for(self, key):
-        return os.path.join(self.root, key[:2], key + ".ast")
+        """The local on-disk path for ``key`` (None for a backend with
+        no local tier)."""
+        return self.backend.local_path("ast", key)
 
     def lookup(self, key):
-        """The on-disk path for ``key``, or None on a miss."""
-        path = self.path_for(key)
-        return path if os.path.exists(path) else None
+        """The on-disk path for ``key`` when it is local, a placeholder
+        token when it exists only remotely, or None on a miss."""
+        path = self.backend.local_path("ast", key)
+        if path is not None and os.path.exists(path):
+            return path
+        if self.backend.head_many("ast", [key]):
+            return path if path else "remote:%s" % key
+        return None
+
+    def fetch(self, key):
+        """``(data, path)`` for a cached key, without verifying it.
+
+        A local (or overlay) hit returns ``(None, path)`` -- the bytes
+        stay on disk for the parent process to read, exactly as before
+        the store existed.  A remote-only hit returns ``(bytes, None)``
+        unless the backend's write-through landed the frame locally, in
+        which case the local path is preferred.  ``(None, None)`` is a
+        miss.
+        """
+        path = self.backend.local_path("ast", key)
+        if path is not None and os.path.exists(path):
+            touch_entry(path)
+            if hasattr(self.backend, "count_overlay_hit"):
+                self.backend.count_overlay_hit()
+            return None, path
+        data = self.backend.get_many("ast", [key]).get(key)
+        if data is None:
+            return None, None
+        if path is not None and os.path.exists(path):
+            return None, path  # write-through overlay landed it
+        return data, None
 
     def load(self, key):
         """``(unit, source_bytes, emitted_bytes)`` for a cached key.
 
-        Raises :class:`CacheCorruption` for untrustworthy entries.  A
-        successful load refreshes the entry's mtime, so frames a warm
-        session keeps replaying never age past the GC cutoff.
+        Raises :class:`CacheCorruption` for untrustworthy entries and
+        ``FileNotFoundError`` on a miss.  A successful read refreshes
+        the entry's liveness (mtime locally, server-side for remotes),
+        so frames a warm session keeps replaying never age past the GC
+        cutoff.
         """
-        path = self.path_for(key)
-        with open(path, "rb") as handle:
-            data = handle.read()
+        data = self.backend.get_many("ast", [key]).get(key)
+        if data is None:
+            raise FileNotFoundError(key)
         unit, source_bytes = unpack(data)
-        touch_entry(path)
         return unit, source_bytes, len(data)
 
     def store(self, key, data):
         """Atomically write a payload; safe under concurrent writers."""
-        path = self.path_for(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = "%s.tmp.%d" % (path, os.getpid())
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-        os.replace(tmp, path)
+        self.backend.put_many("ast", {key: data})
         spec = faults.fires("cache.corrupt", key=key)
         if spec is not None:
-            corrupt_entry(path, spec.get("mode", "truncate"))
-        return path
+            self.corrupt(key, spec.get("mode", "truncate"))
+        path = self.backend.local_path("ast", key)
+        return path if path else key
+
+    def touch(self, key):
+        """Refresh an entry's liveness without reading it."""
+        self.backend.touch_many("ast", [key])
+
+    def entry_mtime(self, key):
+        """The entry's mtime (local or remote), or None when absent."""
+        return self.backend.entry_mtime("ast", key)
+
+    def set_entry_mtime(self, key, ts):
+        """Backdate an entry (GC aging in tests) through the backend."""
+        self.backend.touch_many("ast", [key], ts=ts)
+
+    def corrupt(self, key, mode="truncate"):
+        """Damage a stored entry *through the backend* (fault injection:
+        reaches every tier a write-through put reached, so self-heal
+        tests cannot silently heal from an untouched copy)."""
+        data = self.backend.get_many("ast", [key]).get(key)
+        if data is None:
+            return
+        self.backend.put_many("ast", {key: corrupt_bytes(data, mode)})
 
     def evict(self, key):
         """Drop a (corrupt) entry; the next probe for ``key`` misses."""
-        path = self.path_for(key)
-        try:
-            os.remove(path)
-            return True
-        except FileNotFoundError:
-            return False
+        return self.backend.delete_many("ast", [key]) > 0
 
 
 def pack_artifact(artifact):
@@ -263,59 +334,119 @@ class SummaryCache:
     match the run that produced it.
     """
 
-    def __init__(self, root):
+    def __init__(self, root=None, backend=None):
         self.root = root
+        self.backend = (
+            backend if backend is not None
+            else storemod.LocalStore(sum_dir=root)
+        )
+        #: Batched-read stash: frames fetched ahead of time by
+        #: :meth:`prefetch`, consumed by :meth:`get`.
+        self._prefetched = {}
 
     def path_for(self, key):
-        return os.path.join(self.root, key[:2], key + ".sum")
+        """The local on-disk path for ``key`` (None for a backend with
+        no local tier)."""
+        return self.backend.local_path("sum", key)
 
     def lookup(self, key):
-        """The on-disk path for ``key``, or None on a miss."""
-        path = self.path_for(key)
-        return path if os.path.exists(path) else None
+        """The on-disk path for ``key`` when it is local, a placeholder
+        token when it exists only remotely, or None on a miss."""
+        path = self.backend.local_path("sum", key)
+        if path is not None and os.path.exists(path):
+            return path
+        if self.backend.head_many("sum", [key]):
+            return path if path else "remote:%s" % key
+        return None
 
     def load(self, key):
         """The cached :class:`RootArtifact` for ``key``.
 
-        Raises :class:`CacheCorruption` for untrustworthy entries.  A
-        successful load refreshes the frame's mtime: a frame a warm
-        session (or daemon) replays daily must read as *in use* to the
-        GC's ``mtime >= cutoff`` keep rule, not as untouched since the
-        run that stored it.
+        Raises :class:`CacheCorruption` for untrustworthy entries and
+        ``FileNotFoundError`` on a miss.  A successful read refreshes
+        the frame's liveness: a frame a warm session (or daemon)
+        replays daily must read as *in use* to the GC's ``mtime >=
+        cutoff`` keep rule, not as untouched since the run that stored
+        it.
         """
-        path = self.path_for(key)
-        with open(path, "rb") as handle:
-            data = handle.read()
-        artifact = unpack_artifact(data)
-        touch_entry(path)
-        return artifact
+        data = self.backend.get_many("sum", [key]).get(key)
+        if data is None:
+            raise FileNotFoundError(key)
+        return unpack_artifact(data)
+
+    def get(self, key):
+        """The cached :class:`RootArtifact`, or None on a miss (one
+        probe, no separate existence check).  Raises
+        :class:`CacheCorruption` for untrustworthy frames -- the caller
+        evicts and re-analyzes.  Consumes the :meth:`prefetch` stash
+        first, so batched backends pay one round trip for a whole clean
+        set."""
+        data = self._prefetched.pop(key, None)
+        if data is None:
+            data = self.backend.get_many("sum", [key]).get(key)
+        if data is None:
+            return None
+        return unpack_artifact(data)
+
+    def prefetch(self, keys):
+        """Fetch many frames in one backend batch, stashed for
+        :meth:`get`.  Best-effort: a failed batch just means per-key
+        fetches later (which carry the real error handling)."""
+        wanted = [key for key in keys if key not in self._prefetched]
+        if not wanted:
+            return
+        try:
+            self._prefetched.update(self.backend.get_many("sum", wanted))
+        except storemod.StoreError:
+            pass
 
     def touch(self, key):
-        """Refresh a frame's mtime without reading it (in-memory warm
-        hits still count as GC liveness)."""
-        touch_entry(self.path_for(key))
+        """Refresh a frame's liveness without reading it (in-memory
+        warm hits still count as GC liveness)."""
+        self.backend.touch_many("sum", [key])
+
+    def entry_mtime(self, key):
+        """The frame's mtime (local or remote), or None when absent."""
+        return self.backend.entry_mtime("sum", key)
+
+    def set_entry_mtime(self, key, ts):
+        """Backdate a frame (GC aging in tests) through the backend."""
+        self.backend.touch_many("sum", [key], ts=ts)
 
     def store(self, key, artifact):
         """Atomically persist one per-root outcome."""
-        path = self.path_for(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = "%s.tmp.%d" % (path, os.getpid())
-        with open(tmp, "wb") as handle:
-            handle.write(pack_artifact(artifact))
-        os.replace(tmp, path)
+        self.backend.put_many("sum", {key: pack_artifact(artifact)})
         spec = faults.fires("summary.corrupt", key=key)
         if spec is not None:
-            corrupt_entry(path, spec.get("mode", "truncate"))
-        return path
+            self.corrupt(key, spec.get("mode", "truncate"))
+        path = self.backend.local_path("sum", key)
+        return path if path else key
+
+    def store_many(self, artifacts):
+        """Persist a batch of per-root outcomes (one backend round trip
+        for remote stores)."""
+        payload = {
+            key: pack_artifact(artifact)
+            for key, artifact in sorted(artifacts.items())
+        }
+        self.backend.put_many("sum", payload)
+        for key in payload:
+            spec = faults.fires("summary.corrupt", key=key)
+            if spec is not None:
+                self.corrupt(key, spec.get("mode", "truncate"))
+
+    def corrupt(self, key, mode="truncate"):
+        """Damage a stored frame *through the backend* (fault
+        injection: reaches every tier a write-through put reached)."""
+        data = self.backend.get_many("sum", [key]).get(key)
+        if data is None:
+            return
+        self.backend.put_many("sum", {key: corrupt_bytes(data, mode)})
 
     def evict(self, key):
         """Drop a (corrupt) entry; the next probe for ``key`` misses."""
-        path = self.path_for(key)
-        try:
-            os.remove(path)
-            return True
-        except FileNotFoundError:
-            return False
+        self._prefetched.pop(key, None)
+        return self.backend.delete_many("sum", [key]) > 0
 
     # -- session manifest -------------------------------------------------
     #
@@ -324,15 +455,19 @@ class SummaryCache:
     # against freshly computed fingerprints yields the dirty function set.
 
     def manifest_path(self, signature):
-        return os.path.join(self.root, "manifest-%s.json" % signature[:32])
+        """The local manifest path (a stable token for pathless
+        backends)."""
+        path = self.backend.manifest_local_path(signature)
+        return path if path else "manifest-%s.json" % signature[:32]
 
-    def load_manifest_document(self, signature):
-        """The full manifest document for a signature, or None when
-        absent/unreadable/skewed."""
+    def _decode_manifest(self, text, signature):
+        """The validated manifest document from its JSON text, or None
+        when absent/unreadable/skewed."""
+        if text is None:
+            return None
         try:
-            with open(self.manifest_path(signature)) as handle:
-                obj = json.load(handle)
-        except (OSError, ValueError):
+            obj = json.loads(text)
+        except ValueError:
             return None
         if (
             not isinstance(obj, dict)
@@ -342,6 +477,16 @@ class SummaryCache:
         ):
             return None
         return obj
+
+    def load_manifest_document(self, signature):
+        """The full manifest document for a signature, or None when
+        absent/unreadable/skewed (an unreachable store counts as
+        absent: cold run, never a crash)."""
+        try:
+            text, __ = self.backend.manifest_get(signature)
+        except storemod.StoreError:
+            return None
+        return self._decode_manifest(text, signature)
 
     def load_manifest(self, signature):
         """``{function: fingerprint}`` from the last run under this
@@ -356,12 +501,16 @@ class SummaryCache:
                        ast_keys=(), stats=None):
         """Record the fingerprints of a completed run.
 
-        A read-merge-write under a per-signature lockfile: entries from
-        a concurrent session (functions we did not fingerprint this run,
-        frame/AST keys we did not touch) are preserved rather than
-        clobbered, so two incremental sessions sharing one cache
-        directory both keep their warm state.  For functions both runs
-        saw, this run's fingerprint wins.  ``frame_keys``/``ast_keys``
+        A read-merge-write through ETag compare-and-swap: entries from
+        a concurrent session (functions we did not fingerprint this
+        run, frame/AST keys we did not touch) are preserved rather than
+        clobbered, so two incremental sessions sharing one store both
+        keep their warm state.  For functions both runs saw, this run's
+        fingerprint wins.  A CAS conflict (rival landed first) re-reads
+        and re-merges, bounded by :data:`repro.driver.store.
+        MANIFEST_CAS_RETRIES` and counted as ``store_cas_conflicts``;
+        an exhausted bound loses this merge loudly (degradation record)
+        rather than corrupting anything.  ``frame_keys``/``ast_keys``
         are the tier-2/tier-1 entries this run stored or replayed; GC
         treats them as live as long as the manifest is fresh.
         """
@@ -380,12 +529,25 @@ class SummaryCache:
         return self._merge_manifest(
             signature, fingerprints, frame_keys, ast_keys, stats)
 
+    def _manifest_document(self, signature, fingerprints, frame_keys,
+                           ast_keys):
+        return json.dumps(
+            {
+                "format": SUMMARY_FORMAT_VERSION,
+                "signature": signature,
+                "fingerprints": fingerprints,
+                "frame_keys": sorted(frame_keys),
+                "ast_keys": sorted(ast_keys),
+            },
+            sort_keys=True,
+        )
+
     def _merge_manifest(self, signature, fingerprints, frame_keys,
                         ast_keys, stats):
-        path = self.manifest_path(signature)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        with _file_lock(path + ".lock", stats=stats):
-            existing = self.load_manifest_document(signature)
+        counted_merge = False
+        for _attempt in range(storemod.MANIFEST_CAS_RETRIES):
+            text, etag = self.backend.manifest_get(signature)
+            existing = self._decode_manifest(text, signature)
             merged = dict(fingerprints)
             frames = set(frame_keys)
             asts = set(ast_keys)
@@ -395,23 +557,56 @@ class SummaryCache:
                     merged.setdefault(name, entry)
                 frames.update(existing.get("frame_keys") or ())
                 asts.update(existing.get("ast_keys") or ())
-                if stats is not None and set(theirs) - set(fingerprints):
+                if (
+                    stats is not None and not counted_merge
+                    and set(theirs) - set(fingerprints)
+                ):
                     stats.add("manifest_merges")
-            tmp = "%s.tmp.%d" % (path, os.getpid())
-            with open(tmp, "w") as handle:
-                json.dump(
-                    {
-                        "format": SUMMARY_FORMAT_VERSION,
-                        "signature": signature,
-                        "fingerprints": merged,
-                        "frame_keys": sorted(frames),
-                        "ast_keys": sorted(asts),
-                    },
-                    handle,
-                    sort_keys=True,
-                )
-            os.replace(tmp, path)
-        return path
+                    counted_merge = True
+            document = self._manifest_document(
+                signature, merged, frames, asts)
+            spec = faults.fires("store.conflict", key=signature)
+            if spec is not None:
+                # Fault injection: a rival's CAS lands in our
+                # read->write window, invalidating the ETag we hold.
+                self._rival_cas(signature, spec)
+            committed, __, __ = self.backend.manifest_cas(
+                signature, document, etag, stats=stats)
+            if committed:
+                return self.manifest_path(signature)
+            if stats is not None:
+                stats.add("store_cas_conflicts")
+        if stats is not None:
+            stats.record_degradation(
+                "store",
+                "manifest CAS for %s... exhausted %d retries; this "
+                "run's merge was lost (next run re-derives)"
+                % (signature[:12], storemod.MANIFEST_CAS_RETRIES),
+            )
+        return self.manifest_path(signature)
+
+    def _rival_cas(self, signature, spec):
+        """Land a genuine rival merge between our read and our CAS (the
+        ``store.conflict`` fault): read-merge-write of the rival's
+        fingerprints, retried a few times so it always commits."""
+        rival = dict(spec.get("fingerprints") or {"__rival__": ["r", "r"]})
+        for _attempt in range(8):
+            text, etag = self.backend.manifest_get(signature)
+            existing = self._decode_manifest(text, signature)
+            merged = dict(rival)
+            frames = set(spec.get("frame_keys") or ())
+            asts = set(spec.get("ast_keys") or ())
+            if existing is not None:
+                for name, entry in existing["fingerprints"].items():
+                    merged.setdefault(name, entry)
+                frames.update(existing.get("frame_keys") or ())
+                asts.update(existing.get("ast_keys") or ())
+            document = self._manifest_document(
+                signature, merged, frames, asts)
+            committed, __, __ = self.backend.manifest_cas(
+                signature, document, etag)
+            if committed:
+                return
 
 
 #: Lockfile-fallback tuning (non-``fcntl`` platforms): how long one
@@ -479,123 +674,40 @@ def _file_lock(path, stats=None):
             pass
 
 
-def _manifest_files(summaries_dir):
-    """Sorted manifest paths currently present under a summaries dir."""
-    try:
-        names = sorted(os.listdir(summaries_dir))
-    except OSError:
-        return []
-    return [
-        os.path.join(summaries_dir, name)
-        for name in names
-        if name.startswith("manifest-") and name.endswith(".json")
-    ]
+#: Sorted manifest paths under a summaries dir (lives with the backends
+#: now; kept here for callers that imported it from this module).
+_manifest_files = storemod._manifest_files
 
 
 def collect_cache_garbage(cache_dir, summaries_subdir="summaries",
                           cutoff_days=30.0, now=None, stats=None,
                           extra_live_sum=(), extra_live_ast=(),
-                          _after_scan=None):
-    """Sweep stale content-addressed entries from a cache directory.
+                          _after_scan=None, backend=None):
+    """Sweep stale content-addressed entries from an artifact store.
 
-    Liveness comes from the manifests: every manifest newer than the
-    cutoff pins the tier-1 (``.ast``) and tier-2 (``.sum``) keys it
-    recorded.  The sweep drops (a) manifests older than the cutoff and
-    (b) frames that are both unpinned and older than the cutoff — a
-    frame younger than the cutoff is kept even when unreferenced, so
-    plain (non-incremental) cache users and in-flight sessions are never
-    raced.  ``extra_live_sum`` / ``extra_live_ast`` are additional
-    pinned keys (a live daemon's in-memory warm state) treated exactly
-    like manifest pins.
-
-    Concurrency: the pinned-key read and the frame sweep run as one
-    critical section *under every fresh manifest's per-signature lock*.
-    A rival session's read-merge-write either completes before the
-    sweep (its pins are re-read and honoured) or blocks until the sweep
-    is done — and any frame such a late merge pins was just stored or
-    warm-loaded, so its refreshed mtime keeps it past the cutoff
-    regardless.  Frames and manifests vanishing mid-sweep (another GC,
-    an eviction) are tolerated, never fatal.
-
-    ``_after_scan`` is a test-only hook running between the stale-
-    manifest drop and the locked pin-read/sweep section, where the
-    pre-fix implementation raced rival merges.
-
-    Returns the eviction counters; also folded into ``stats`` when
-    given.
+    The sweep semantics (manifest pins, mtime cutoff, extra-live keys,
+    the locked pin-read + sweep critical section, the ``_after_scan``
+    test hook) live in :meth:`repro.driver.store.LocalStore.gc`; this
+    wrapper keeps the long-standing directory-path call shape, builds
+    the matching local backend when none is given, and folds the
+    eviction counters into ``stats``.  With ``backend`` set (a tiered
+    or remote store) the sweep runs wherever the frames live --
+    server-side GC receives the same extra-live pins, so a daemon's
+    warm state protects remote frames exactly like local ones.
     """
-    now = time.time() if now is None else now
-    cutoff = now - float(cutoff_days) * 86400.0
-    counters = {
-        "gc_manifests_dropped": 0,
-        "gc_summary_frames_dropped": 0,
-        "gc_ast_frames_dropped": 0,
-        "gc_frames_kept": 0,
-    }
-    summaries_dir = os.path.join(cache_dir, summaries_subdir)
-    for path in _manifest_files(summaries_dir):
-        try:
-            mtime = os.path.getmtime(path)
-        except OSError:
-            continue
-        if mtime < cutoff:
-            with _file_lock(path + ".lock", stats=stats):
-                try:
-                    os.remove(path)
-                    counters["gc_manifests_dropped"] += 1
-                except OSError:
-                    pass
-
-    if _after_scan is not None:
-        _after_scan()
-
-    def sweep(root, suffix, live, counter):
-        if not os.path.isdir(root):
-            return
-        for sub in sorted(os.listdir(root)):
-            subdir = os.path.join(root, sub)
-            if len(sub) != 2 or not os.path.isdir(subdir):
-                continue
-            try:
-                fnames = sorted(os.listdir(subdir))
-            except OSError:
-                continue
-            for fname in fnames:
-                if not fname.endswith(suffix):
-                    continue
-                key = fname[: -len(suffix)]
-                path = os.path.join(subdir, fname)
-                try:
-                    mtime = os.path.getmtime(path)
-                except OSError:
-                    continue  # vanished mid-sweep: someone else's problem
-                if key in live or mtime >= cutoff:
-                    counters["gc_frames_kept"] += 1
-                    continue
-                try:
-                    os.remove(path)
-                    counters[counter] += 1
-                except OSError:
-                    pass
-
-    live_sum, live_ast = set(extra_live_sum), set(extra_live_ast)
-    with contextlib.ExitStack() as held:
-        # Re-list and re-read pinned keys under the per-signature locks,
-        # immediately before the sweep, holding them through it: a merge
-        # that landed since the stale scan is seen, and one that lands
-        # after can only pin freshly-touched (mtime-safe) frames.
-        for path in _manifest_files(summaries_dir):
-            held.enter_context(_file_lock(path + ".lock", stats=stats))
-            try:
-                with open(path) as handle:
-                    obj = json.load(handle)
-            except (OSError, ValueError):
-                continue
-            if isinstance(obj, dict):
-                live_sum.update(obj.get("frame_keys") or ())
-                live_ast.update(obj.get("ast_keys") or ())
-        sweep(summaries_dir, ".sum", live_sum, "gc_summary_frames_dropped")
-        sweep(cache_dir, ".ast", live_ast, "gc_ast_frames_dropped")
+    if backend is None:
+        backend = storemod.LocalStore(
+            root=cache_dir,
+            sum_dir=(
+                os.path.join(cache_dir, summaries_subdir)
+                if cache_dir is not None else None
+            ),
+        )
+    counters = backend.gc(
+        cutoff_days=cutoff_days, now=now, stats=stats,
+        extra_live_sum=extra_live_sum, extra_live_ast=extra_live_ast,
+        _after_scan=_after_scan,
+    )
     if stats is not None:
         for name, value in counters.items():
             if value:
@@ -612,8 +724,8 @@ def touch_entry(path):
         pass
 
 
-def corrupt_entry(path, mode="truncate"):
-    """Damage an on-disk entry (fault injection / corruption tests).
+def corrupt_bytes(data, mode="truncate"):
+    """Return a damaged copy of an in-memory frame (fault injection).
 
     Modes mirror real failure shapes: "truncate" (full disk / killed
     writer), "garbage" (bit rot over the frame header), "version" (a
@@ -621,15 +733,11 @@ def corrupt_entry(path, mode="truncate"):
     checksum intact, so only the version check catches it).
     """
     if mode == "truncate":
-        size = os.path.getsize(path)
-        with open(path, "r+b") as handle:
-            handle.truncate(size // 2)
-    elif mode == "garbage":
-        with open(path, "r+b") as handle:
-            handle.write(b"\xde\xad\xbe\xef" * 16)
-    elif mode == "version":
-        with open(path, "rb") as handle:
-            data = handle.read()
+        return data[: len(data) // 2]
+    if mode == "garbage":
+        junk = b"\xde\xad\xbe\xef" * 16
+        return junk + data[len(junk):]
+    if mode == "version":
         if data[: len(SUMMARY_MAGIC)] == SUMMARY_MAGIC:
             magic, payload = SUMMARY_MAGIC, data[_SUMMARY_HEADER:]
         elif data[: len(FRAME_MAGIC)] == FRAME_MAGIC:
@@ -641,8 +749,14 @@ def corrupt_entry(path, mode="truncate"):
             obj["summary_version"] = "0-skewed"
         else:
             obj["parser_version"] = "0-skewed"
-        with open(path, "wb") as handle:
-            handle.write(pack_frame(magic, obj))
-    else:
-        raise ValueError("unknown corruption mode: %r" % mode)
+        return pack_frame(magic, obj)
+    raise ValueError("unknown corruption mode: %r" % mode)
+
+
+def corrupt_entry(path, mode="truncate"):
+    """Damage an on-disk entry in place (see :func:`corrupt_bytes`)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(corrupt_bytes(data, mode))
     return path

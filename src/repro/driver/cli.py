@@ -13,6 +13,7 @@ Usage::
 
 import argparse
 import functools
+import os
 import sys
 
 from repro.checkers import ALL_CHECKERS
@@ -90,6 +91,15 @@ def build_parser():
         "--cache-dir", metavar="DIR",
         help="persistent content-addressed AST cache: unchanged files are "
         "loaded instead of re-parsed on re-runs",
+    )
+    parser.add_argument(
+        "--store-url", metavar="URL",
+        default=os.environ.get("XGCC_STORE") or None,
+        help="shared artifact-store server (tcp://HOST:PORT; defaults to "
+        "$XGCC_STORE): cached ASTs, summaries, and manifests are shared "
+        "with every client of the store; with --cache-dir the local "
+        "cache acts as a write-through overlay, and an unreachable "
+        "store degrades the run to local-only instead of failing it",
     )
     parser.add_argument(
         "--incremental", action="store_true",
@@ -232,7 +242,8 @@ def _make_project(args):
         name, __, value = item.partition("=")
         defines[name] = value or "1"
     project = Project(include_paths=args.include, defines=defines,
-                      cache_dir=args.cache_dir, keep_going=args.keep_going)
+                      cache_dir=args.cache_dir, keep_going=args.keep_going,
+                      store_url=getattr(args, "store_url", None))
     project.compile_files(args.files, jobs=args.jobs,
                           worker_timeout=args.worker_timeout)
     return project
@@ -309,8 +320,8 @@ def _daemon_mode(parser, args):
 
     if not args.daemon_socket:
         parser.error("--watch requires --daemon-socket")
-    if not args.cache_dir:
-        parser.error("--watch requires --cache-dir")
+    if not args.cache_dir and not args.store_url:
+        parser.error("--watch requires --cache-dir or --store-url")
 
     metal_sources = _read_metal_sources(args)
     extensions = _build_extensions(args.checker, metal_sources)
@@ -328,7 +339,8 @@ def _daemon_mode(parser, args):
         options=options,
     )
     session = IncrementalSession(args.cache_dir, signature,
-                                 pin_warm_state=True)
+                                 pin_warm_state=True,
+                                 store_url=args.store_url)
     factory = functools.partial(
         _build_extensions, tuple(args.checker), tuple(metal_sources)
     )
@@ -341,6 +353,7 @@ def _daemon_mode(parser, args):
         include_paths=args.include,
         defines=defines,
         cache_dir=args.cache_dir,
+        store_url=args.store_url,
         options=options,
         rank=args.rank,
         jobs=args.jobs,
@@ -387,14 +400,14 @@ def _run(parser, args):
     if args.watch:
         return _daemon_mode(parser, args)
 
-    if args.cache_gc and not args.cache_dir:
-        parser.error("--cache-gc requires --cache-dir")
+    if args.cache_gc and not args.cache_dir and not args.store_url:
+        parser.error("--cache-gc requires --cache-dir or --store-url")
 
     if not args.files and not args.cache_gc:
         parser.error("no input files")
 
-    if args.incremental and not args.cache_dir:
-        parser.error("--incremental requires --cache-dir")
+    if args.incremental and not args.cache_dir and not args.store_url:
+        parser.error("--incremental requires --cache-dir or --store-url")
     if args.incremental and args.dump_summaries:
         # Figure-5 summary dumps need the live per-block tables of a full
         # serial run; replayed roots have none.
@@ -404,8 +417,16 @@ def _run(parser, args):
     if args.cache_gc:
         from repro.driver.cache import collect_cache_garbage
 
+        gc_backend = None
+        if args.store_url:
+            from repro.driver.store import open_store
+
+            gc_backend = open_store(
+                cache_dir=args.cache_dir, store_url=args.store_url
+            )
         gc_counters = collect_cache_garbage(
-            args.cache_dir, cutoff_days=args.cache_gc_days
+            args.cache_dir, cutoff_days=args.cache_gc_days,
+            backend=gc_backend,
         )
         if not args.files:
             # GC-only invocation: sweep, report, done.
@@ -463,7 +484,10 @@ def _run(parser, args):
                 metal_texts=[text for text, __ in metal_sources],
                 options=options,
             )
-            session = IncrementalSession(args.cache_dir, signature)
+            session = IncrementalSession(
+                args.cache_dir, signature,
+                backend=project.store_backend,
+            )
             result = project.run(extensions, options, jobs=args.jobs,
                                  extension_factory=factory,
                                  worker_timeout=args.worker_timeout,

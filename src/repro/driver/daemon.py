@@ -104,7 +104,7 @@ class XgccDaemon:
                  socket_path, files=(), include_paths=(), defines=None,
                  cache_dir=None, options=None, rank="severity", jobs=1,
                  worker_timeout=None, poll_interval=0.5, stats=None,
-                 file_reader=None):
+                 file_reader=None, store_url=None):
         self.watch_roots = [os.path.abspath(p) for p in watch_roots]
         self.extension_factory = extension_factory
         self.session = session
@@ -113,6 +113,10 @@ class XgccDaemon:
         self.include_paths = list(include_paths)
         self.defines = dict(defines or {})
         self.cache_dir = cache_dir
+        #: Shared artifact-store URL; the session's backend (local,
+        #: remote, or tiered) is reused for the daemon's own projects so
+        #: all warm state rides one connection and one overlay.
+        self.store_url = store_url
         self.options = options
         self.rank = rank
         self.jobs = jobs
@@ -193,6 +197,8 @@ class XgccDaemon:
         project = Project(
             include_paths=self.include_paths, defines=self.defines,
             cache_dir=self.cache_dir, stats=self.stats, keep_going=True,
+            store_url=self.store_url,
+            store_backend=getattr(self.session, "backend", None),
         )
         for path in c_files:
             pin = self._units.get(path)
@@ -335,15 +341,16 @@ class XgccDaemon:
                 return {"ok": True, "protocol": PROTOCOL_VERSION,
                         "stats": payload}
             if op == "gc":
-                if not self.cache_dir:
+                if not self.cache_dir and not self.store_url:
                     return {"ok": False, "protocol": PROTOCOL_VERSION,
-                            "error": "daemon has no cache_dir"}
+                            "error": "daemon has no cache_dir or store"}
                 counters = astcache.collect_cache_garbage(
                     self.cache_dir,
                     cutoff_days=float(obj.get("days", 30.0)),
                     stats=self.stats,
                     extra_live_sum=self.session.pinned_frame_keys(),
                     extra_live_ast=sorted(self._ast_keys_seen),
+                    backend=getattr(self.session, "backend", None),
                 )
                 return {"ok": True, "protocol": PROTOCOL_VERSION,
                         "gc": counters}

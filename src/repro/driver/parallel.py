@@ -39,6 +39,7 @@ from concurrent.futures import TimeoutError as FutureTimeout
 
 from repro import faults
 from repro.driver import cache as astcache
+from repro.driver import store as storemod
 
 
 def _read_source(path):
@@ -154,13 +155,19 @@ def run_tasks_with_recovery(tasks, worker, jobs, stats, label,
 
 
 class Pass1Task:
-    """One file's pass-1 work order, shipped to a worker."""
+    """One file's pass-1 work order, shipped to a worker.
+
+    ``store_url`` (a string) travels to pooled workers, which build (and
+    memoize) their own backend connection; ``store`` carries a live
+    backend object only for in-process execution -- it must stay None
+    when the task crosses a process boundary (sockets do not pickle).
+    """
 
     __slots__ = ("index", "path", "include_paths", "defines", "cache_dir",
-                 "emit_dir", "file_reader")
+                 "emit_dir", "file_reader", "store_url", "store")
 
     def __init__(self, index, path, include_paths, defines, cache_dir,
-                 emit_dir, file_reader):
+                 emit_dir, file_reader, store_url=None, store=None):
         self.index = index
         self.path = path
         self.include_paths = include_paths
@@ -168,17 +175,29 @@ class Pass1Task:
         self.cache_dir = cache_dir
         self.emit_dir = emit_dir
         self.file_reader = file_reader
+        self.store_url = store_url
+        self.store = store
+
+    def __getstate__(self):
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["store"] = None  # live backends never cross processes
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
 
 class Pass1Result:
-    """What comes back: either a cache hit (path to the payload) or a
-    freshly parsed unit (shipped back through the pool's own pickling)."""
+    """What comes back: a cache hit (local payload path and/or the frame
+    bytes fetched from a remote store) or a freshly parsed unit (shipped
+    back through the pool's own pickling)."""
 
     __slots__ = ("index", "filename", "status", "key", "cache_path", "unit",
-                 "source_bytes", "emitted_bytes", "timings", "pid")
+                 "source_bytes", "emitted_bytes", "timings", "pid", "data")
 
     def __init__(self, index, filename, status, key, cache_path, unit,
-                 source_bytes, emitted_bytes, timings, pid):
+                 source_bytes, emitted_bytes, timings, pid, data=None):
         self.index = index
         self.filename = filename
         self.status = status  # "hit" | "parsed"
@@ -189,6 +208,23 @@ class Pass1Result:
         self.emitted_bytes = emitted_bytes
         self.timings = timings
         self.pid = pid
+        self.data = data
+
+
+#: Per-process backend memo: a pooled worker keeps one live store
+#: connection per (cache_dir, store_url) across all its tasks.
+_WORKER_STORES = {}
+
+
+def _worker_store(cache_dir, store_url):
+    memo_key = (cache_dir, store_url)
+    backend = _WORKER_STORES.get(memo_key)
+    if backend is None:
+        backend = storemod.open_store(
+            cache_dir=cache_dir, store_url=store_url
+        )
+        _WORKER_STORES[memo_key] = backend
+    return backend
 
 
 def pass1_worker(task):
@@ -212,18 +248,28 @@ def pass1_worker(task):
 
     key = None
     store = None
-    if task.cache_dir:
-        store = astcache.AstCache(task.cache_dir)
+    if task.cache_dir or getattr(task, "store_url", None):
+        backend = getattr(task, "store", None) or _worker_store(
+            task.cache_dir, getattr(task, "store_url", None)
+        )
+        store = astcache.AstCache(backend=backend)
         key = astcache.cache_key(
             task.path, tokens, task.include_paths, task.defines
         )
-        hit = store.lookup(key)
-        if hit is not None:
+        data, hit_path = store.fetch(key)
+        if data is not None or hit_path is not None:
+            if hit_path is not None:
+                try:
+                    emitted = os.path.getsize(hit_path)
+                except OSError:
+                    emitted = len(data or b"")
+            else:
+                emitted = len(data)
             return Pass1Result(
                 index=task.index, filename=task.path, status="hit", key=key,
-                cache_path=hit, unit=None, source_bytes=None,
-                emitted_bytes=os.path.getsize(hit), timings=timings,
-                pid=os.getpid(),
+                cache_path=hit_path, unit=None, source_bytes=None,
+                emitted_bytes=emitted, timings=timings,
+                pid=os.getpid(), data=data,
             )
 
     from repro.cfront.parser import Parser
@@ -263,6 +309,7 @@ def compile_files_into(project, paths, jobs=1, worker_timeout=None):
         Pass1Task(
             index, path, project.include_paths, project.defines,
             project.cache_dir, project.emit_dir, project.file_reader,
+            store_url=getattr(project, "store_url", None),
         )
         for index, path in enumerate(paths)
     ]
@@ -278,6 +325,13 @@ def compile_files_into(project, paths, jobs=1, worker_timeout=None):
                 "pass-1 tasks do not pickle (%r); running serially" % err,
             )
             use_pool = False
+    if not use_pool:
+        # In-process execution shares the project's live backend (one
+        # socket, one overlay) instead of rebuilding one per task.
+        backend = getattr(project, "store_backend", None)
+        if backend is not None:
+            for task in tasks:
+                task.store = backend
     start = time.perf_counter()
     if use_pool:
         results = run_tasks_with_recovery(
@@ -299,6 +353,21 @@ def compile_files_into(project, paths, jobs=1, worker_timeout=None):
                 )
                 results[task.index] = None
     stats.add_time("pass1_wall", time.perf_counter() - start)
+
+    backend = getattr(project, "store_backend", None)
+    if backend is not None and getattr(backend, "prefers_batch", False):
+        # Pooled workers touched their own connections per task; fold
+        # the hit keys into one batched remote touch so store GC sees
+        # warm use without a round trip per file.
+        hit_keys = sorted(
+            result.key for result in results.values()
+            if result is not None and result.status == "hit" and result.key
+        )
+        if hit_keys:
+            try:
+                backend.touch_many("ast", hit_keys)
+            except storemod.StoreError:
+                pass
 
     compiled = []
     for task in tasks:
@@ -324,8 +393,13 @@ def _absorb(project, task, result):
     stats.merge_timings(result.timings)
     if result.status == "hit":
         try:
-            with open(result.cache_path, "rb") as handle:
-                data = handle.read()
+            if result.cache_path is not None:
+                with open(result.cache_path, "rb") as handle:
+                    data = handle.read()
+            elif result.data is not None:
+                data = result.data
+            else:
+                raise astcache.CacheCorruption("hit carried no payload")
             unit, source_bytes = astcache.unpack(data)
         except (OSError, astcache.CacheCorruption) as err:
             stats.add("cache_evictions")
@@ -334,12 +408,23 @@ def _absorb(project, task, result):
                 "%s: corrupt cache entry (%s); evicted and re-parsed"
                 % (result.filename, err),
             )
-            astcache.AstCache(task.cache_dir).evict(result.key)
+            backend = getattr(project, "store_backend", None)
+            if backend is not None:
+                astcache.AstCache(backend=backend).evict(result.key)
+            elif task.cache_dir:
+                astcache.AstCache(task.cache_dir).evict(result.key)
             # The entry is gone, so this re-run parses (and re-stores a
-            # good entry): recursion depth is bounded at one.
-            return _absorb(project, task, pass1_worker(task))
+            # good entry): recursion depth is bounded at one.  The
+            # re-run happens in-process, so hand it the live backend.
+            prior = task.store
+            task.store = backend or prior
+            try:
+                return _absorb(project, task, pass1_worker(task))
+            finally:
+                task.store = prior
         stats.add("cache_hits")
-        astcache.touch_entry(result.cache_path)
+        if result.cache_path is not None:
+            astcache.touch_entry(result.cache_path)
         compiled = CompiledUnit(
             result.filename, unit, source_bytes, len(data), from_cache=True
         )

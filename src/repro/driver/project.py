@@ -30,6 +30,7 @@ from repro.cfront.parser import Parser
 from repro.cfront.preproc import Preprocessor
 from repro.cfg.callgraph import CallGraph
 from repro.driver import cache as astcache
+from repro.driver import store as storemod
 from repro.driver.stats import DriverStats
 from repro.engine.analysis import Analysis, AnalysisOptions
 from repro.cfront import astnodes as ast
@@ -58,13 +59,18 @@ class Project:
 
     def __init__(self, include_paths=(), defines=None, emit_dir=None,
                  file_reader=None, cache_dir=None, stats=None,
-                 keep_going=False):
+                 keep_going=False, store_url=None, store_backend=None):
         self.include_paths = list(include_paths)
         self.defines = dict(defines or {})
         self.emit_dir = emit_dir
         #: Persistent content-addressed AST cache directory (incremental
         #: pass 1); None disables caching.
         self.cache_dir = cache_dir
+        #: Remote artifact-store URL (``--store-url`` / ``XGCC_STORE``);
+        #: combined with ``cache_dir`` it forms a tiered store whose
+        #: local overlay keeps warm reads off the network.
+        self.store_url = store_url
+        self._store_backend = store_backend
         #: CodeChecker-style per-TU recovery: when set, a file whose
         #: pass 1 fails outright (after worker retries) is skipped and
         #: recorded as a "unit" degradation instead of aborting the run.
@@ -82,6 +88,18 @@ class Project:
         #: recorded into the incremental manifest so cache GC knows which
         #: .ast frames a fresh manifest still depends on.
         self.ast_keys_used = []
+
+    @property
+    def store_backend(self):
+        """The artifact-store backend behind this project's caches
+        (built lazily: local, remote, or tiered per ``cache_dir`` /
+        ``store_url``); None when caching is disabled entirely."""
+        if self._store_backend is None:
+            self._store_backend = storemod.open_store(
+                cache_dir=self.cache_dir, store_url=self.store_url,
+                stats=self.stats,
+            )
+        return self._store_backend
 
     # -- pass 1 -----------------------------------------------------------------
 

@@ -61,10 +61,10 @@ Safety valves (all recorded in the driver stats, never silent):
 
 import copy
 import hashlib
-import os
 
 from repro.cfg.fingerprint import fingerprint_tables
 from repro.driver import cache as astcache
+from repro.driver import store as storemod
 from repro.engine import deltas as deltamod
 from repro.engine.analysis import AnalysisOptions, AnalysisResult
 from repro.engine.errors import ErrorLog
@@ -136,10 +136,15 @@ class IncrementalSession:
     PIN_CAP = 8192
 
     def __init__(self, cache_dir, signature, stats=None,
-                 pin_warm_state=False):
-        self.store = astcache.SummaryCache(
-            os.path.join(cache_dir, "summaries")
-        )
+                 pin_warm_state=False, store_url=None, backend=None):
+        if backend is None:
+            backend = storemod.open_store(
+                cache_dir=cache_dir, store_url=store_url
+            )
+        #: The artifact-store backend (local, remote, or tiered); shared
+        #: with the project's AST cache when the daemon builds both.
+        self.backend = backend
+        self.store = astcache.SummaryCache(backend=backend)
         self.signature = signature
         #: Optional DriverStats override; defaults to the project's.
         self.stats = stats
@@ -157,12 +162,13 @@ class IncrementalSession:
     # -- pinned warm state -------------------------------------------------
 
     def _manifest_stat(self):
-        """The on-disk manifest's identity (None when absent)."""
+        """The stored manifest's version identity (None when absent):
+        a stat tuple on local backends, the ETag on remote ones -- any
+        rival merge changes it either way."""
         try:
-            st = os.stat(self.store.manifest_path(self.signature))
-        except OSError:
+            return self.backend.manifest_version(self.signature)
+        except storemod.StoreError:
             return None
-        return (st.st_mtime_ns, st.st_size, st.st_ino)
 
     def _load_manifest(self, stats):
         """The manifest fingerprints, through the in-memory pin when
@@ -218,6 +224,7 @@ class IncrementalSession:
             extensions = [extensions]
         options = options or AnalysisOptions()
         stats = self.stats or project.stats
+        self.backend.bind_stats(stats)
 
         if options.restrict_partial_hits:
             return self._fallback(
@@ -374,9 +381,12 @@ class IncrementalSession:
                     try:
                         if pinned is not None:
                             delta = pinned.delta
-                        elif self.store.lookup(key) is not None:
-                            delta = self.store.load(key).delta
-                    except (OSError, astcache.CacheCorruption):
+                        else:
+                            artifact = self.store.get(key)
+                            if artifact is not None:
+                                delta = artifact.delta
+                    except (OSError, astcache.CacheCorruption,
+                            storemod.StoreError):
                         delta = None
             old_deltas[pair] = delta
             return delta
@@ -552,28 +562,48 @@ class IncrementalSession:
         moved into ``reanalyze`` instead.  Hit keys are recorded into
         ``used_keys`` (manifest liveness for cache GC)."""
         cached = {}
+        clean_roots = list(clean_roots)
+        keymap = {
+            (ext_index, root): (
+                getattr(ext, "name", repr(ext)),
+                summary_key(
+                    self.signature, ext_index,
+                    getattr(ext, "name", repr(ext)), root,
+                    fingerprints[root],
+                ),
+            )
+            for root in clean_roots
+            for ext_index, ext in enumerate(extensions)
+        }
+        if getattr(self.backend, "prefers_batch", False):
+            # Remote-backed session: one batched round trip fetches every
+            # frame this warm run could replay, instead of a network
+            # round trip per (extension, root) pair.
+            self.store.prefetch(
+                key for (_, key) in keymap.values()
+                if key not in self._pinned_frames
+            )
         for root in clean_roots:
             loaded = []
             for ext_index, ext in enumerate(extensions):
-                name = getattr(ext, "name", repr(ext))
-                key = summary_key(
-                    self.signature, ext_index, name, root,
-                    fingerprints[root],
-                )
+                name, key = keymap[(ext_index, root)]
                 pinned = self._pinned_frames.get(key)
                 if pinned is not None:
                     # In-memory warm hit: no disk read, but refresh the
-                    # on-disk frame's mtime so GC still sees it in use.
+                    # stored frame's mtime so GC still sees it in use.
                     stats.add("summary_memory_hits")
                     self.store.touch(key)
                     loaded.append((ext_index, key, pinned))
                     continue
                 try:
-                    if self.store.lookup(key) is None:
+                    try:
+                        artifact = self.store.get(key)
+                    except storemod.StoreError:
+                        artifact = None
+                    if artifact is None:
                         stats.add("summary_misses")
                         loaded = None
                         break
-                    artifact = self.store.load(key)
                     self._pin_frame(key, artifact)
                     loaded.append((ext_index, key, artifact))
                 except (OSError, astcache.CacheCorruption) as err:
@@ -635,6 +665,7 @@ class IncrementalSession:
                  used_keys=None):
         """Store every clean fresh artifact plus the new manifest."""
         used = set(used_keys or ())
+        to_store = {}
         for artifact in fresh.root_artifacts:
             if not artifact.clean:
                 continue
@@ -653,10 +684,14 @@ class IncrementalSession:
                 self.signature, artifact.ext_index, artifact.extension,
                 artifact.root, fingerprint,
             )
-            self.store.store(key, artifact)
+            to_store[key] = artifact
             self._pin_frame(key, artifact)
             used.add(key)
             stats.add("summary_stores")
+        if to_store:
+            # One batched put: a remote-backed session ships every fresh
+            # frame in a single round trip.
+            self.store.store_many(to_store)
         ast_keys = ()
         if project is not None:
             ast_keys = sorted(set(project.ast_keys_used))

@@ -31,8 +31,11 @@ from contextlib import contextmanager
 #: unavailable).  5: the compiled-matcher counters in the engine stats
 #: (``matcher_table_hits``, ``matcher_miss_memo_hits``,
 #: ``matcher_fallbacks``, ``matcher_compile_s`` plus per-extension
-#: ``matcher_compile_s:<name>`` timers; docs/MATCHER.md).
-SCHEMA_VERSION = 5
+#: ``matcher_compile_s:<name>`` timers; docs/MATCHER.md).  6: the
+#: shared artifact-store counters (``store_round_trips``,
+#: ``store_batch_keys``, ``store_cas_conflicts``, ``store_overlay_hits``,
+#: ``store_fallbacks``, ``store_degraded``; docs/STORE.md).
+SCHEMA_VERSION = 6
 
 
 class DriverStats:

@@ -1,0 +1,313 @@
+"""The shared artifact-store server (``python -m repro.driver.store_server``).
+
+A small asyncio TCP server exposing one :class:`repro.driver.store.
+LocalStore` to any number of xgcc clients -- the sccache-style hub that
+lets a fleet of daemons and CI runners share one warm cache state
+(ROADMAP: "remote/shared artifact store").
+
+Protocol (docs/STORE.md): newline-JSON with attached binary frames.
+Each request is a single JSON object terminated by ``\\n`` whose
+``blobs`` field lists the byte lengths of the raw frame payloads that
+follow it; each response has the same shape.  Ops:
+
+``ping``, ``get``, ``put``, ``head``, ``touch``, ``delete``, ``list``
+    Batched frame operations; ``items`` is ``[{"tier", "key"}, ...]``.
+``manifest_get`` / ``manifest_head`` / ``manifest_put`` /
+``manifest_cas`` / ``manifest_list`` / ``manifest_delete``
+    Session-manifest operations.  CAS carries the expected ETag; a
+    conflict response includes the current document so the client's
+    re-merge needs no second round trip.
+``gc``
+    Server-side garbage collection.  ``extra_live_sum`` /
+    ``extra_live_ast`` ship the client's pinned keys (a daemon's warm
+    state), so remote GC honours the same extra-live protocol as local
+    GC.
+
+Requests are dispatched synchronously on the event loop, so every
+operation -- in particular ``manifest_cas`` and ``gc`` -- is atomic
+with respect to every other connection; blob reads/writes are async, so
+a slow client never blocks the store.
+
+Fault sites (tests): ``store.slow`` sleeps before replying (client
+timeout path), ``store.request`` drops the connection before -- or,
+with ``mode="partial"``, mid-way through -- the response (mid-batch
+crash path).  Both consult the process-global fault plan, which the
+``XGCC_FAULTS`` environment variable propagates into a subprocess
+server.
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+
+from repro import faults
+from repro.driver.store import STORE_PROTOCOL, LocalStore, StoreError
+
+
+def handle_message(store, header, blobs):
+    """Dispatch one decoded request against a LocalStore.
+
+    Pure and synchronous: returns ``(reply_fields, reply_blobs)``.
+    Unknown ops and malformed requests come back as ``ok=False``
+    replies, never connection drops.
+    """
+    op = header.get("op")
+    items = header.get("items") or []
+    if op == "ping":
+        return {"ok": True}, []
+    if op == "get":
+        found, out = [], []
+        for item in items:
+            data = store.get_many(item["tier"], [item["key"]]).get(
+                item["key"]
+            )
+            found.append(data is not None)
+            if data is not None:
+                out.append(data)
+        return {"ok": True, "found": found}, out
+    if op == "put":
+        if len(items) != len(blobs):
+            return {"ok": False, "error": "put: %d items, %d blobs"
+                    % (len(items), len(blobs))}, []
+        for item, data in zip(items, blobs):
+            store.put_many(item["tier"], {item["key"]: data})
+        return {"ok": True, "stored": len(items)}, []
+    if op == "head":
+        found, mtimes = [], []
+        for item in items:
+            mtime = store.entry_mtime(item["tier"], item["key"])
+            found.append(mtime is not None)
+            mtimes.append(mtime)
+        return {"ok": True, "found": found, "mtimes": mtimes}, []
+    if op == "touch":
+        ts = header.get("ts")
+        for item in items:
+            store.touch_many(item["tier"], [item["key"]], ts=ts)
+        return {"ok": True, "touched": len(items)}, []
+    if op == "delete":
+        deleted = 0
+        for item in items:
+            deleted += store.delete_many(item["tier"], [item["key"]])
+        return {"ok": True, "deleted": deleted}, []
+    if op == "list":
+        return {"ok": True, "entries": store.list_tier(header["tier"])}, []
+    if op == "manifest_get":
+        text, etag = store.manifest_get(header["signature"])
+        if text is None:
+            return {"ok": True, "etag": None}, []
+        return {"ok": True, "etag": etag}, [text.encode("utf-8")]
+    if op == "manifest_head":
+        return {"ok": True,
+                "etag": store.manifest_head(header["signature"])}, []
+    if op == "manifest_cas":
+        text = blobs[0].decode("utf-8") if blobs else ""
+        committed, etag, current = store.manifest_cas(
+            header["signature"], text, header.get("etag")
+        )
+        if committed:
+            return {"ok": True, "committed": True, "etag": etag}, []
+        reply_blobs = [current.encode("utf-8")] if current else []
+        return {"ok": True, "committed": False, "etag": etag}, reply_blobs
+    if op == "manifest_put":
+        text = blobs[0].decode("utf-8") if blobs else ""
+        etag = store.manifest_put(header["signature"], text)
+        return {"ok": True, "etag": etag}, []
+    if op == "manifest_list":
+        return {"ok": True, "manifests": store.manifest_list()}, []
+    if op == "manifest_delete":
+        return {"ok": True,
+                "deleted": store.manifest_delete(header["token"])}, []
+    if op == "gc":
+        counters = store.gc(
+            cutoff_days=float(header.get("cutoff_days", 30.0)),
+            now=header.get("now"),
+            extra_live_sum=header.get("extra_live_sum") or (),
+            extra_live_ast=header.get("extra_live_ast") or (),
+        )
+        return {"ok": True, "gc": counters}, []
+    return {"ok": False, "error": "unknown op: %r" % (op,)}, []
+
+
+class StoreServer:
+    """One LocalStore served over TCP.
+
+    Usable three ways: ``serve_forever()`` in the foreground (the CLI),
+    ``start()`` on a daemon thread returning once the port is bound
+    (tests run an in-process server and read ``url``), and ``stop()``
+    to shut the threaded server down.
+    """
+
+    def __init__(self, root, host="127.0.0.1", port=0):
+        self.store = LocalStore(root=root)
+        self.host = host
+        self.port = port
+        self._loop = None
+        self._stop_future = None
+        self._thread = None
+        self._started = threading.Event()
+        self._startup_error = None
+
+    @property
+    def url(self):
+        return "tcp://%s:%d" % (self.host, self.port)
+
+    async def _serve_connection(self, reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    header = json.loads(line.decode("utf-8"))
+                    if not isinstance(header, dict):
+                        raise ValueError("request is not an object")
+                    blobs = [
+                        await reader.readexactly(int(size))
+                        for size in header.get("blobs") or ()
+                    ]
+                except (ValueError, UnicodeDecodeError) as err:
+                    reply, reply_blobs = (
+                        {"ok": False, "error": "undecodable request: %s"
+                         % err},
+                        [],
+                    )
+                    header = {}
+                else:
+                    op = header.get("op")
+                    spec = faults.fires("store.slow", key=op)
+                    if spec is not None:
+                        # Async sleep: this connection stalls (client
+                        # timeout path) while others keep being served.
+                        await asyncio.sleep(
+                            float(spec.get("seconds", 30.0))
+                        )
+                    spec = faults.fires("store.request", key=op)
+                    if spec is not None:
+                        if spec.get("mode") == "partial":
+                            # Mid-batch crash: a correct-looking header,
+                            # then the connection dies inside the frame
+                            # bytes.  Clients must treat the whole batch
+                            # as unserved -- no partial frames.
+                            reply, reply_blobs = handle_message(
+                                self.store, header, blobs
+                            )
+                            reply["protocol"] = STORE_PROTOCOL
+                            reply["blobs"] = [
+                                len(blob) for blob in reply_blobs
+                            ]
+                            body = b"".join(reply_blobs)
+                            writer.write(
+                                json.dumps(reply).encode("utf-8") + b"\n"
+                                + body[: len(body) // 2]
+                            )
+                            await writer.drain()
+                        break
+                    try:
+                        reply, reply_blobs = handle_message(
+                            self.store, header, blobs
+                        )
+                    except (StoreError, KeyError, TypeError,
+                            ValueError) as err:
+                        reply, reply_blobs = (
+                            {"ok": False, "error": repr(err)}, []
+                        )
+                reply["protocol"] = STORE_PROTOCOL
+                reply["blobs"] = [len(blob) for blob in reply_blobs]
+                writer.write(
+                    json.dumps(reply).encode("utf-8") + b"\n"
+                    + b"".join(reply_blobs)
+                )
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # client went away mid-exchange
+        except asyncio.CancelledError:
+            pass  # server shutting down with the connection open
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _main(self):
+        server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
+        self._stop_future = self._loop.create_future()
+        self._started.set()
+        async with server:
+            await self._stop_future
+
+    def _run_thread(self):
+        try:
+            asyncio.run(self._main())
+        except Exception as err:  # bind failure and friends
+            self._startup_error = err
+            self._started.set()
+
+    def start(self):
+        """Serve on a daemon thread; returns the bound URL."""
+        self._thread = threading.Thread(target=self._run_thread, daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise StoreError(
+                "store server failed to start: %r" % self._startup_error
+            )
+        if not self._started.is_set():
+            raise StoreError("store server did not start in time")
+        return self.url
+
+    def stop(self):
+        if self._loop is not None and self._stop_future is not None:
+            def _finish():
+                if not self._stop_future.done():
+                    self._stop_future.set_result(None)
+            try:
+                self._loop.call_soon_threadsafe(_finish)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def serve_forever(self):
+        asyncio.run(self._main())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="xgcc-store",
+        description="shared artifact-store server for xgcc clients",
+    )
+    parser.add_argument("--root", required=True,
+                        help="store directory (created if missing)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: any free port)")
+    args = parser.parse_args(argv)
+
+    import os
+
+    os.makedirs(args.root, exist_ok=True)
+    server = StoreServer(args.root, host=args.host, port=args.port)
+
+    async def _announce_and_serve():
+        bound = asyncio.ensure_future(server._main())
+        while not server._started.is_set():
+            await asyncio.sleep(0.01)
+        print("xgcc-store: serving %s on %s" % (args.root, server.url),
+              file=sys.stderr, flush=True)
+        await bound
+
+    try:
+        asyncio.run(_announce_and_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

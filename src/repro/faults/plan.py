@@ -22,6 +22,7 @@ _SITES = frozenset([
     "pass2.worker.kill", "pass2.worker.hang", "pass2.analysis",
     "cache.corrupt", "summary.corrupt", "summary.manifest", "engine.budget",
     "daemon.watcher", "daemon.request",
+    "store.request", "store.conflict", "store.slow",
 ])
 
 

@@ -179,7 +179,7 @@ class TestDaemonProtocol:
                 assert ping["ok"] and ping["pid"] == os.getpid()
                 stats = client.request("stats")
                 assert stats["ok"]
-                assert stats["stats"]["schema_version"] == 5
+                assert stats["stats"]["schema_version"] == 6
                 assert stats["stats"]["pinned_units"] == 3
                 assert stats["stats"]["pinned_frames"] > 0
                 bad = client.request("frobnicate")
@@ -428,8 +428,8 @@ class TestDaemonGC:
                 pinned = daemon.session.pinned_frame_keys()
                 assert pinned
                 stamp = time.time() - 2 * 86400.0
-                os.utime(store.path_for(orphan), (stamp, stamp))
-                os.utime(store.path_for(pinned[0]), (stamp, stamp))
+                store.set_entry_mtime(orphan, stamp)
+                store.set_entry_mtime(pinned[0], stamp)
                 reply = client.request("gc", days=1.0)
                 assert reply["ok"]
                 assert reply["gc"]["gc_summary_frames_dropped"] == 1
@@ -455,14 +455,13 @@ class TestDaemonGC:
                 keys = daemon.session.pinned_frame_keys()
                 stamp = time.time() - 10 * 86400.0
                 for key in keys:
-                    os.utime(store.path_for(key), (stamp, stamp))
+                    store.set_entry_mtime(key, stamp)
                 # A warm replay (memory hits) refreshes every frame it
                 # used, so a subsequent GC keeps them even without the
                 # daemon's pin list.
                 assert client.request("analyze", force=True)["ok"]
                 for key in keys:
-                    assert (time.time() - os.path.getmtime(
-                        store.path_for(key))) < 3600.0
+                    assert time.time() - store.entry_mtime(key) < 3600.0
 
 
 class TestCacheGCRace:
@@ -472,8 +471,7 @@ class TestCacheGCRace:
 
     def _backdated_frame(self, store, key, days=2.0):
         store.store(key, ["artifact"])
-        stamp = time.time() - days * 86400.0
-        os.utime(store.path_for(key), (stamp, stamp))
+        store.set_entry_mtime(key, time.time() - days * 86400.0)
 
     def test_rival_merge_between_scan_and_sweep_is_honoured(self,
                                                             tmp_path):
@@ -507,7 +505,7 @@ class TestCacheGCRace:
         self._backdated_frame(store, doomed)
 
         def someone_else_evicts():
-            os.remove(store.path_for(doomed))
+            store.evict(doomed)
 
         counters = astcache.collect_cache_garbage(
             cache_dir, cutoff_days=1.0, _after_scan=someone_else_evicts
@@ -601,10 +599,9 @@ class TestWarmLoadTouch:
         store = astcache.SummaryCache(str(tmp_path / "summaries"))
         key = "ab" * 32
         store.store(key, ["artifact"])
-        stamp = time.time() - 10 * 86400.0
-        os.utime(store.path_for(key), (stamp, stamp))
+        store.set_entry_mtime(key, time.time() - 10 * 86400.0)
         assert store.load(key) is not None
-        assert time.time() - os.path.getmtime(store.path_for(key)) < 3600
+        assert time.time() - store.entry_mtime(key) < 3600
 
     def test_ast_load_refreshes_mtime(self, tmp_path):
         from repro.driver.project import Project
@@ -613,11 +610,10 @@ class TestWarmLoadTouch:
         compiled = Project().compile_text("int x;\n", "t.c")
         payload = astcache.pack_unit(compiled.unit, compiled.source_bytes)
         key = "cd" * 32
-        path = cache.store(key, payload)
-        stamp = time.time() - 10 * 86400.0
-        os.utime(path, (stamp, stamp))
+        cache.store(key, payload)
+        cache.set_entry_mtime(key, time.time() - 10 * 86400.0)
         assert cache.load(key) is not None
-        assert time.time() - os.path.getmtime(path) < 3600
+        assert time.time() - cache.entry_mtime(key) < 3600
 
     def test_touch_entry_tolerates_missing_files(self, tmp_path):
         astcache.touch_entry(str(tmp_path / "never-existed.sum"))
@@ -662,4 +658,4 @@ class TestDaemonCLI:
                          "--daemon-request", "stats"])
             assert code == 0
             payload = json.loads(capsys.readouterr().out)
-            assert payload["stats"]["schema_version"] == 5
+            assert payload["stats"]["schema_version"] == 6

@@ -222,11 +222,10 @@ class TestSummaryFrames:
         assert store.load_manifest("other-sig") is None
 
     def test_garbled_manifest_degrades_to_none(self, tmp_path):
+        # Written through the backend interface, so the same garbling
+        # lands identically on a local dir or a remote store.
         store = astcache.SummaryCache(str(tmp_path))
-        path = store.manifest_path("sig")
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        with open(path, "w") as handle:
-            handle.write("{not json")
+        store.backend.manifest_put("sig", "{not json")
         assert store.load_manifest("sig") is None
 
     def test_summary_keys_separate_extensions_and_fingerprints(self):
@@ -521,7 +520,7 @@ class TestIncrementalCLI:
         main(args + paths)
         capsys.readouterr()
         cold = json.loads(stats_path.read_text())
-        assert cold["schema_version"] == 5
+        assert cold["schema_version"] == 6
         assert cold["counters"]["incremental_cold_runs"] == 1
         assert cold["counters"]["summary_stores"] > 0
         main(args + paths)
