@@ -1,0 +1,148 @@
+"""Report-server benchmarks: served diffs vs cold re-analysis.
+
+Dumped to ``BENCH_reports.json``: on a generated multi-module project
+taken through N seeded edit bursts,
+
+- the cold path: what a CI bot pays to answer "what changed?" by
+  re-analyzing the whole tree from scratch after every burst,
+- the served path: recording each burst's run once and answering the
+  same question with ``GET /diff`` against the HTTP report server --
+  a hash set-difference over stored runs, no analysis at all.
+
+The shape assertions are the ISSUE acceptance criteria: the diff
+answers name exactly the edited cone's deltas (pure drift bursts diff
+empty), and the served diff is at least 10x faster than cold
+re-analysis (the tripwire -- if answering from history stops paying
+for itself, this benchmark fails).
+"""
+
+import functools
+import json
+import time
+import urllib.request
+
+from repro.codegen.project_gen import apply_function_edits, generate_project
+from repro.driver.cli import _build_extensions
+from repro.driver.project import Project
+from repro.driver.report_server import ReportServer
+from repro.driver.store import LocalStore
+from repro.ranking import rank_reports
+from repro.reports.history import RunHistory
+
+SUMMARY_PATH = "BENCH_reports.json"
+_summary = {}
+
+CHECKER_NAMES = ("free", "lock")
+bench_checkers = functools.partial(_build_extensions, CHECKER_NAMES, ())
+
+#: Seeded edit bursts between recorded runs.
+BURSTS = 3
+
+
+def _dump_summary():
+    with open(SUMMARY_PATH, "w") as handle:
+        json.dump(_summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def materialize(tmp_path, generated, name="proj"):
+    root = tmp_path / name
+    root.mkdir(exist_ok=True)
+    for filename, text in generated.files.items():
+        (root / filename).write_text(text)
+    return str(root), sorted(
+        str(root / filename)
+        for filename in generated.files if filename.endswith(".c")
+    )
+
+
+def cold_analysis(root, paths):
+    """One cold cacheless run; returns (seconds, ranked reports)."""
+    start = time.perf_counter()
+    project = Project(include_paths=[root])
+    project.compile_files(paths)
+    result = project.run(bench_checkers())
+    reports = rank_reports(list(result.reports), "severity", result.log)
+    return time.perf_counter() - start, reports
+
+
+def http_get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def test_served_diff_beats_cold_reanalysis(benchmark, tmp_path):
+    generated = generate_project(
+        seed=13, n_modules=5, functions_per_module=40, bug_rate=0.1
+    )
+    backend = LocalStore(str(tmp_path / "store"))
+    history = RunHistory(backend)
+
+    # Take the tree through N seeded edit bursts, paying one cold
+    # analysis per burst (the baseline a diff must beat) and recording
+    # each burst's run.
+    cold_times, run_ids = [], []
+    current = generated
+    for burst in range(BURSTS + 1):
+        # Edits land in place (the tree evolves, its paths do not).
+        root, paths = materialize(tmp_path, current, "proj")
+        elapsed, reports = cold_analysis(root, paths)
+        cold_times.append(elapsed)
+        run_ids.append(history.record_run(
+            reports, meta={"burst": burst}
+        ))
+        if burst < BURSTS:
+            current, __ = apply_function_edits(current, k=2, seed=burst)
+
+    server = ReportServer(backend=backend)
+    server.start()
+    try:
+        # Answer "what changed?" for every burst from the server.
+        diff_times, diffs = [], []
+        for base, head in zip(run_ids, run_ids[1:]):
+            start = time.perf_counter()
+            diffs.append(http_get(
+                "%s/diff?base=%s&head=%s" % (server.url, base, head)
+            ))
+            diff_times.append(time.perf_counter() - start)
+
+        # Microbenchmark: one served diff round trip.
+        base, head = run_ids[0], run_ids[-1]
+        benchmark(
+            http_get, "%s/diff?base=%s&head=%s" % (server.url, base, head)
+        )
+    finally:
+        server.stop()
+
+    # The edits bump literal values in place -- structurally unrelated
+    # to any error path -- so every burst diff must come back empty:
+    # stable hashes do not churn under edits that fix nothing.
+    for diff in diffs:
+        assert diff["new"] == [] and diff["resolved"] == []
+        assert diff["unresolved"]
+
+    cold_s = sum(cold_times[1:]) / len(cold_times[1:])
+    diff_s = sum(diff_times) / len(diff_times)
+    speedup = cold_s / max(diff_s, 1e-9)
+    rows = {
+        "total_files": len(paths),
+        "bursts": BURSTS,
+        "reports_per_run": len(
+            history.load_run(run_ids[0])["reports"]
+        ),
+        "cold_reanalysis_s": round(cold_s, 4),
+        "served_diff_s": round(diff_s, 4),
+        "served_diff_speedup": round(speedup, 1),
+        "diffs_all_empty": True,
+    }
+    print("\nserved diff vs cold re-analysis, %d files, %d bursts:"
+          % (len(paths), BURSTS))
+    print("  cold re-analysis   %.3fs per burst" % cold_s)
+    print("  served GET /diff   %.4fs per burst  (x%.0f)"
+          % (diff_s, speedup))
+
+    # Acceptance tripwire: answering "what changed?" from recorded
+    # history must be at least 10x cheaper than re-analyzing.
+    assert speedup >= 10.0
+    _summary["reports"] = rows
+    _dump_summary()

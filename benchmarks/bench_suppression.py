@@ -5,12 +5,18 @@
   checker-local suppression ("We added eight lines of code").
 * History: reports judged false in version N stay suppressed in version
   N+1 despite edits that move every line number.
+
+Both run on the consolidated triage path (repro.reports.triage): the
+checker-local suppressions are built from the shared SM helpers, and
+history suppression is a TriageStore history-kind entry (HistoryDatabase
+is a façade over the same store).
 """
 
 from conftest import analyze
 
 from repro.checkers.free import free_checker, suppressed_free_checker
 from repro.engine.history import HistoryDatabase
+from repro.reports.triage import TriageStore
 
 FP_CODE = """
 int debug_path(int *p) {
@@ -110,12 +116,16 @@ def test_history_suppression(benchmark):
     v1_result, __ = analyze(V1, checker, filename="dev.c")
     assert len(v1_result.reports) == 1
 
-    db = HistoryDatabase()
-    db.suppress(v1_result.reports[0])  # inspected: false positive
+    triage = TriageStore()
+    triage.suppress_history(  # inspected: false positive
+        v1_result.reports[0].history_key(), reason="debug print"
+    )
+    # The legacy façade reads the same store: one predicate, one format.
+    assert HistoryDatabase(triage).is_suppressed(v1_result.reports[0])
 
     def analyze_v2():
         result, __ = analyze(V2, conservative_free(), filename="dev.c")
-        return db.filter(result.reports)
+        return triage.filter(result.reports)
 
     surviving = benchmark(analyze_v2)
     print("\nhistory suppression across versions:")

@@ -8,7 +8,6 @@ can group and score them (§9), and which also counts "pointer passed to
 kfree and never touched again" as rule examples.
 """
 
-from repro.cfront import astnodes as ast
 from repro.metal import ANY_POINTER, Extension, compile_metal
 
 FREE_CHECKER_SOURCE = """
@@ -96,22 +95,27 @@ def suppressed_free_checker(free_functions=("kfree",),
     The conservative checker's false positives came from (1) passing freed
     pointers to debugging print functions and (2) passing their addresses
     to reinitializers.  The paper fixed both with eight added lines; here
-    the suppression is the two extra transitions below.
+    the suppression is two transitions built from the shared helpers in
+    :mod:`repro.reports.triage`.
     """
+    from repro.reports.triage import (
+        address_of_suppression,
+        insert_suppressions,
+        pattern_suppression,
+    )
+
     ext = free_checker(free_functions)
-    for fn in debug_functions:
-        # Passing a freed pointer to a debug printer is fine: stay freed.
-        ext.transitions.insert(
-            _first_specific_index(ext),
-            _make_suppression(ext, "{ %s(v) }" % fn),
-        )
+    # Passing a freed pointer to a debug printer is fine: stay freed.
+    insert_suppressions(ext, [
+        pattern_suppression(ext, "v.freed", "{ %s(v) }" % fn)
+        for fn in debug_functions
+    ])
     # Passing &v to any function redefines v (the BSD idiom): drop state.
     ext.decl("fn", _any_fn_call())
     ext.decl("rest", _any_arguments())
-    ext.transitions.insert(
-        _first_specific_index(ext),
-        _make_addr_suppression(ext),
-    )
+    insert_suppressions(ext, [
+        address_of_suppression(ext, "v.freed", "v", to="v.stop"),
+    ])
     return ext
 
 
@@ -125,35 +129,3 @@ def _any_arguments():
     from repro.metal import ANY_ARGUMENTS
 
     return ANY_ARGUMENTS
-
-
-def _make_suppression(ext, pattern_text):
-    from repro.metal.sm import Transition
-
-    pattern = ext._compile_pattern_text(pattern_text)
-    return Transition(ext.parse_state("v.freed"), pattern, target=None)
-
-
-def _make_addr_suppression(ext):
-    from repro.metal.patterns import Callout
-    from repro.metal.sm import Transition
-
-    def is_addr_passed(context):
-        point = context.point
-        obj = context.bindings.get("v")
-        if not isinstance(point, ast.Call) or obj is None:
-            return False
-        key = ast.structural_key(ast.Unary("&", obj))
-        return any(ast.structural_key(arg) == key for arg in point.args)
-
-    pattern = Callout(is_addr_passed, "address-of freed var passed to fn")
-    return Transition(
-        ext.parse_state("v.freed"), pattern, target=ext.parse_state("v.stop")
-    )
-
-
-def _first_specific_index(ext):
-    for index, rule in enumerate(ext.transitions):
-        if not rule.source.is_global:
-            return index
-    return len(ext.transitions)

@@ -21,7 +21,7 @@ from repro.driver.project import Project
 from repro.engine.analysis import AnalysisOptions
 from repro.engine.history import HistoryDatabase
 from repro.metal.language import compile_metal
-from repro.ranking import generic_rank, rank_by_rule_reliability, stratify
+from repro.ranking import rank_reports
 
 
 def build_parser():
@@ -68,6 +68,46 @@ def build_parser():
         help="error ranking mode (default: severity + generic)",
     )
     parser.add_argument("--history", help="history DB for false-positive suppression")
+    parser.add_argument(
+        "--triage", metavar="FILE",
+        help="triage file (docs/REPORTS.md): suppressions, severity "
+        "overrides, and false-positive marks applied to this run's "
+        "reports; merged over any shared triage state in the store",
+    )
+    parser.add_argument(
+        "--triage-suppress", metavar="KEY",
+        help="record a suppression -- KEY is a stable report hash or "
+        "'rule:ID' -- into --triage FILE when given, else into the "
+        "shared store (--cache-dir/--store-url); with no input files "
+        "this records and exits",
+    )
+    parser.add_argument(
+        "--triage-reason", metavar="TEXT",
+        help="provenance note stored with --triage-suppress",
+    )
+    parser.add_argument(
+        "--record-run", action="store_true",
+        help="persist this run's structured reports in the store's run "
+        "history (requires --cache-dir or --store-url); the run id is "
+        "printed on stderr and usable with --diff",
+    )
+    parser.add_argument(
+        "--diff", nargs=2, metavar=("BASE", "HEAD"),
+        help="no analysis: diff two recorded runs by stable report hash "
+        "('latest' and unambiguous id prefixes work); prints new / "
+        "resolved / unresolved reports, exit 1 when any are new",
+    )
+    parser.add_argument("--new", action="store_true",
+                        help="with --diff: print only new reports")
+    parser.add_argument("--resolved", action="store_true",
+                        help="with --diff: print only resolved reports")
+    parser.add_argument("--unresolved", action="store_true",
+                        help="with --diff: print only unresolved reports")
+    parser.add_argument(
+        "--report-json", metavar="FILE",
+        help="also write the run's structured report model as JSON to "
+        "FILE ('-' for stdout); text output is unchanged",
+    )
     parser.add_argument("--include", "-I", action="append", default=[],
                         help="preprocessor include path (repeatable)")
     parser.add_argument("--define", "-D", action="append", default=[],
@@ -164,6 +204,12 @@ def build_parser():
         "--poll-interval", type=float, default=0.5, metavar="SECONDS",
         help="daemon idle fingerprint-poll interval (default 0.5)",
     )
+    parser.add_argument(
+        "--http-port", type=int, metavar="PORT",
+        help="with --watch: also serve the multi-client HTTP report API "
+        "(GET /runs, /diff, POST /triage; docs/REPORTS.md) on PORT "
+        "(0 = any free port)",
+    )
     parser.add_argument("--stats", action="store_true",
                         help="print engine + driver stats")
     parser.add_argument(
@@ -218,22 +264,104 @@ def main(argv=None):
         raise
 
 
-def _report_json(report):
-    return {
-        "checker": report.checker,
-        "message": report.message,
-        "file": report.location.filename,
-        "line": report.location.line,
-        "column": report.location.column,
-        "function": report.function,
-        "severity": report.severity,
-        "rule": report.rule_id,
-        "call_chain": report.call_chain,
-        "trace": [
-            {"event": event, "location": str(location) if location else None}
-            for event, location in report.trace
-        ],
-    }
+def _open_backend(args, stats=None):
+    """The (cache_dir, store_url) backend, or None when neither is set."""
+    from repro.driver.store import open_store
+
+    return open_store(cache_dir=args.cache_dir, store_url=args.store_url,
+                      stats=stats)
+
+
+def _load_triage(args, backend):
+    """The effective triage state: shared store state (when a backend
+    exists) with any ``--triage FILE`` entries merged over it."""
+    from repro.reports.triage import TriageError, TriageStore
+
+    store = TriageStore()
+    if backend is not None:
+        try:
+            store.merge(TriageStore.load_backend(backend))
+        except TriageError as err:
+            print("xgcc: ignoring shared triage state: %s" % err,
+                  file=sys.stderr)
+    if args.triage and os.path.exists(args.triage):
+        store.merge(TriageStore.load(args.triage))
+    return store
+
+
+def _parse_triage_key(token):
+    """``('rule', id)`` for ``rule:ID`` tokens, else ``('hash', token)``."""
+    if token.startswith("rule:"):
+        return "rule", token[len("rule:"):]
+    return "hash", token
+
+
+def _triage_record_mode(parser, args):
+    """``xgcc --triage-suppress KEY`` with no input files: record the
+    suppression and exit."""
+    from repro.reports.triage import TriageStore
+
+    kind, key = _parse_triage_key(args.triage_suppress)
+    if args.triage:
+        store = TriageStore.load_path(args.triage)
+        store._make(kind, key, reason=args.triage_reason)
+        store.save(args.triage)
+        where = args.triage
+    else:
+        backend = _open_backend(args)
+        if backend is None:
+            parser.error(
+                "--triage-suppress needs --triage FILE, --cache-dir, or "
+                "--store-url"
+            )
+        store = TriageStore.load_backend(backend)
+        store._make(kind, key, reason=args.triage_reason)
+        store.save_backend(backend)
+        where = "shared store"
+    print("xgcc: triaged %s %r (%d entries in %s)"
+          % (kind, key, len(store), where), file=sys.stderr)
+    return 0
+
+
+#: ``--diff`` bucket order (and the flag for each).
+_DIFF_BUCKETS = ("new", "resolved", "unresolved")
+
+
+def _diff_mode(parser, args):
+    """``xgcc --diff BASE HEAD``: hash set-difference between two
+    recorded runs -- no analysis runs."""
+    import json
+
+    from repro.reports.history import RunHistory, RunHistoryError
+    from repro.reports.model import Report
+
+    backend = _open_backend(args)
+    if backend is None:
+        parser.error("--diff requires --cache-dir or --store-url")
+    base, head = args.diff
+    triage = _load_triage(args, backend)
+    try:
+        diff = RunHistory(backend).diff(base, head, triage=triage)
+    except RunHistoryError as error:
+        print("xgcc: %s" % error, file=sys.stderr)
+        return 2
+    selected = [
+        bucket for bucket in _DIFF_BUCKETS if getattr(args, bucket)
+    ] or list(_DIFF_BUCKETS)
+    if args.format == "json":
+        doc = {bucket: diff[bucket] for bucket in selected}
+        doc.update(base=diff["base"], head=diff["head"],
+                   suppressed=diff["suppressed"])
+        print(json.dumps(doc, indent=2))
+    else:
+        bare = len(selected) == 1
+        for bucket in selected:
+            docs = diff[bucket]
+            if not bare:
+                print("== %s (%d) ==" % (bucket, len(docs)))
+            for doc in docs:
+                print(Report.from_dict(doc).format())
+    return 1 if diff["new"] else 0
 
 
 def _make_project(args):
@@ -360,10 +488,23 @@ def _daemon_mode(parser, args):
         worker_timeout=args.worker_timeout,
         poll_interval=args.poll_interval,
     )
+    http_server = None
+    if args.http_port is not None:
+        from repro.driver.report_server import ReportServer
+
+        http_server = ReportServer(daemon=daemon,
+                                   backend=session.backend,
+                                   port=args.http_port)
+        http_server.start()
+        print("xgccd: report API on %s" % http_server.url, file=sys.stderr)
     print("xgccd: watching %s, serving on %s"
           % (", ".join(args.watch) or "<files>", args.daemon_socket),
           file=sys.stderr)
-    daemon.serve_forever()
+    try:
+        daemon.serve_forever()
+    finally:
+        if http_server is not None:
+            http_server.stop()
     if args.stats:
         for line in daemon.stats.format_lines():
             print("# %s" % line, file=sys.stderr)
@@ -399,6 +540,12 @@ def _run(parser, args):
 
     if args.watch:
         return _daemon_mode(parser, args)
+
+    if args.diff:
+        return _diff_mode(parser, args)
+
+    if args.triage_suppress and not args.files:
+        return _triage_record_mode(parser, args)
 
     if args.cache_gc and not args.cache_dir and not args.store_url:
         parser.error("--cache-gc requires --cache-dir or --store-url")
@@ -541,17 +688,46 @@ def _run(parser, args):
             report_null_argument_sites(project.callgraph, min_z=args.min_z)
         )
     if args.history:
-        import os
-
         db = HistoryDatabase.load(args.history) if os.path.exists(args.history) else HistoryDatabase()
         reports = db.filter(reports)
 
-    if args.rank == "generic":
-        reports = generic_rank(reports)
-    elif args.rank == "severity":
-        reports = stratify(reports)
-    elif args.rank == "statistical" and result is not None:
-        reports = rank_by_rule_reliability(reports, result.log)
+    if args.triage_suppress:
+        # Record first, then let the fresh entry suppress in this very
+        # run (--triage-suppress HASH + re-run in one invocation).
+        _triage_record_mode(parser, args)
+
+    triage = _load_triage(args, project.store_backend)
+    if len(triage):
+        reports, __ = triage.apply(reports, stats=project.stats)
+
+    reports = rank_reports(reports, args.rank,
+                           result.log if result is not None else None)
+
+    if args.record_run:
+        from repro.reports.history import RunHistory, RunHistoryError
+
+        backend = project.store_backend
+        if backend is None:
+            parser.error("--record-run requires --cache-dir or --store-url")
+        try:
+            run_id = RunHistory(backend, stats=project.stats).record_run(
+                reports,
+                meta={"checkers": sorted(args.checker), "rank": args.rank},
+            )
+            print("xgcc: recorded run %s" % run_id, file=sys.stderr)
+        except RunHistoryError as error:
+            print("xgcc: run not recorded: %s" % error, file=sys.stderr)
+
+    if args.report_json:
+        from repro.driver.dump import reports_to_json
+
+        project.stats.add("report_json_dumps")
+        payload = reports_to_json(reports)
+        if args.report_json == "-":
+            print(payload)
+        else:
+            with open(args.report_json, "w") as handle:
+                handle.write(payload + "\n")
 
     if result is not None and result.degraded:
         # Engine-level degradations (abandoned roots) join the driver's
@@ -564,10 +740,13 @@ def _run(parser, args):
     if args.format == "json":
         import json
 
-        print(json.dumps([_report_json(r) for r in reports], indent=2))
+        from repro.driver.dump import report_legacy_json
+
+        print(json.dumps([report_legacy_json(r) for r in reports], indent=2))
     else:
-        for report in reports:
-            print(report.format_trace() if args.trace else report.format())
+        from repro.driver.dump import render_reports
+
+        sys.stdout.write(render_reports(reports, trace=args.trace))
     if args.stats:
         if result is not None:
             for key, value in sorted(result.stats.items()):

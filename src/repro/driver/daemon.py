@@ -40,6 +40,7 @@ import errno
 import json
 import os
 import socket
+import threading
 import time
 
 from repro import faults
@@ -137,6 +138,37 @@ class XgccDaemon:
         #: Every tier-1 key any run probed: extra live set for ``gc``.
         self._ast_keys_seen = set()
         self._running = False
+        #: The last completed analysis' ranked structured reports (the
+        #: HTTP report server renders these without re-analyzing).
+        self._last_reports = []
+        #: Serializes analysis/state access between the UNIX-socket serve
+        #: loop and the threaded HTTP report server.
+        self.lock = threading.RLock()
+
+    # -- shared report state -----------------------------------------------
+
+    def backend(self):
+        return getattr(self.session, "backend", None)
+
+    def _load_triage(self):
+        """The shared triage state, or None when it cannot be read (a
+        bad document degrades to no suppression, loudly)."""
+        from repro.reports.triage import TriageError, TriageStore
+
+        backend = self.backend()
+        if backend is None:
+            return None
+        try:
+            return TriageStore.load_backend(backend)
+        except TriageError as err:
+            self.stats.add("triage_load_errors")
+            self.stats.record_degradation("daemon", str(err))
+            return None
+
+    def invalidate(self):
+        """Drop the warm response cache (triage changed: the same tree
+        now renders differently)."""
+        self._last_response = None
 
     # -- change tracking ---------------------------------------------------
 
@@ -230,18 +262,36 @@ class XgccDaemon:
     def _ranked_text(self, result):
         """The exact text a cold ``xgcc`` run would print for these
         reports under the daemon's ranking mode (byte-identity is the
-        differential suite's contract)."""
+        differential suite's contract): shared triage applied, then the
+        one ranking entry point, then the one text renderer."""
+        from repro.driver.dump import render_reports
+        from repro.ranking import rank_reports
+
         reports = list(result.reports)
-        if self.rank == "generic":
-            from repro.ranking import generic_rank
-            reports = generic_rank(reports)
-        elif self.rank == "severity":
-            from repro.ranking import stratify
-            reports = stratify(reports)
-        elif self.rank == "statistical":
-            from repro.ranking import rank_by_rule_reliability
-            reports = rank_by_rule_reliability(reports, result.log)
-        return "".join(report.format() + "\n" for report in reports), reports
+        triage = self._load_triage()
+        if triage is not None and len(triage):
+            reports, __ = triage.apply(reports, stats=self.stats)
+        reports = rank_reports(reports, self.rank, result.log)
+        return render_reports(reports), reports
+
+    def _record_run(self, reports):
+        """Persist the completed analysis in the run history; a failed
+        record degrades (the analysis response still serves)."""
+        from repro.reports.history import RunHistory, RunHistoryError
+
+        backend = self.backend()
+        if backend is None:
+            return None
+        try:
+            return RunHistory(backend, stats=self.stats).record_run(
+                reports, meta={"rank": self.rank, "source": "daemon"}
+            )
+        except Exception as err:
+            self.stats.add("report_run_record_errors")
+            self.stats.record_degradation(
+                "daemon", "run not recorded: %r" % err
+            )
+            return None
 
     def analyze(self, force=False):
         """One analysis round-trip: poll, rebuild, run, rank, cache.
@@ -280,11 +330,14 @@ class XgccDaemon:
             self.stats.record_engine_degradations(result.degraded)
         text, reports = self._ranked_text(result)
         self._dirty = set()
+        self._last_reports = reports
+        run_id = self._record_run(reports)
         response = {
             "ok": True,
             "protocol": PROTOCOL_VERSION,
             "reports": text,
             "report_count": len(reports),
+            "run_id": run_id,
             "files": len(c_files),
             "files_reparsed": len(dirty),
             "roots_analyzed": result.stats.get(
@@ -392,7 +445,8 @@ class XgccDaemon:
                         "error": "undecodable request: %s" % err,
                     }
                 else:
-                    response = self.handle_request(obj)
+                    with self.lock:
+                        response = self.handle_request(obj)
                 payload = json.dumps(response) + "\n"
                 conn.sendall(payload.encode("utf-8"))
                 if not self._running:
@@ -407,18 +461,19 @@ class XgccDaemon:
     def _idle_tick(self):
         """Between requests: poll, and eagerly analyze an edit burst so
         the next ``analyze`` request is a warm cache hit."""
-        if not self._poll():
-            return
-        if self._dirty:
-            self.stats.add("daemon_bursts")
-            try:
-                self.analyze(force=True)
-            except Exception as err:
-                self.stats.add("daemon_burst_errors")
-                self.stats.record_degradation(
-                    "daemon", "eager burst analysis failed: %r" % err
-                )
-                self._last_response = None
+        with self.lock:
+            if not self._poll():
+                return
+            if self._dirty:
+                self.stats.add("daemon_bursts")
+                try:
+                    self.analyze(force=True)
+                except Exception as err:
+                    self.stats.add("daemon_burst_errors")
+                    self.stats.record_degradation(
+                        "daemon", "eager burst analysis failed: %r" % err
+                    )
+                    self._last_response = None
 
     def serve_forever(self, warm_start=True, ready=None):
         """Bind the socket and serve until a ``shutdown`` request.
@@ -441,7 +496,8 @@ class XgccDaemon:
             self._running = True
             if warm_start:
                 try:
-                    self.analyze()
+                    with self.lock:
+                        self.analyze()
                 except Exception as err:
                     self.stats.add("daemon_burst_errors")
                     self.stats.record_degradation(

@@ -1,14 +1,66 @@
-"""Human-readable dumps of CFGs, call graphs, and Figure-5-style
-summaries -- the debugging surface for checker writers.
+"""Renderers over analysis artifacts: ranked reports, CFGs, call
+graphs, and Figure-5-style summaries.
 
-Exposed on the CLI as ``xgcc --dump-cfg`` / ``--dump-callgraph`` /
-``--dump-summaries`` (the latter needs a checker to run first, since
-summaries are an analysis artifact).
+Report output is rendered here from the structured model
+(:mod:`repro.reports.model`) -- the CLI and the daemon both call
+:func:`render_reports`, which is the byte-identity surface (it must
+reproduce the classic ranked text exactly); :func:`reports_to_json` /
+:func:`load_report_json` are the lossless structured renderer pair
+(``load → render == original text``).
+
+The rest is the debugging surface for checker writers, exposed on the
+CLI as ``xgcc --dump-cfg`` / ``--dump-callgraph`` / ``--dump-summaries``
+(the latter needs a checker to run first, since summaries are an
+analysis artifact).
 """
+
+import json
 
 from repro.cfront import astnodes as ast
 from repro.cfront.unparse import unparse
 from repro.cfg.blocks import ReturnMarker
+from repro.reports.model import Report
+
+
+def render_reports(reports, trace=False):
+    """The ranked report lines, one (or one block, with ``trace``) per
+    report -- byte-identical to the historical CLI output."""
+    return "".join(
+        report.render_text(trace=trace) + "\n" for report in reports
+    )
+
+
+def reports_to_json(reports, indent=2):
+    """The structured report document (``--report-json``)."""
+    return json.dumps(
+        [report.to_dict() for report in reports], indent=indent
+    )
+
+
+def load_report_json(text):
+    """Reports back from :func:`reports_to_json` output (the round-trip:
+    rendering the loaded reports reproduces the original text)."""
+    return [Report.from_dict(doc) for doc in json.loads(text)]
+
+
+def report_legacy_json(report):
+    """The pre-refactor ``--format json`` entry shape, kept stable for
+    existing consumers (the structured model is ``--report-json``)."""
+    return {
+        "checker": report.checker,
+        "message": report.message,
+        "file": report.location.filename,
+        "line": report.location.line,
+        "column": report.location.column,
+        "function": report.function,
+        "severity": report.severity,
+        "rule": report.rule_id,
+        "call_chain": report.call_chain,
+        "trace": [
+            {"event": event, "location": str(location) if location else None}
+            for event, location in report.trace
+        ],
+    }
 
 
 def _item_text(item):

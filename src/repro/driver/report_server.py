@@ -1,0 +1,352 @@
+"""The multi-client HTTP report server (``xgcc --watch --http-port N``).
+
+The daemon's UNIX-socket protocol serves one client at a time with the
+full analysis surface; this server is the *report* surface promoted to
+HTTP (stdlib ``http.server``, threaded) so any number of CI bots and
+editor plugins can poll runs, diffs, and triage concurrently without
+ever running a cold analysis:
+
+====================  =====================================================
+``GET /ping``         liveness + protocol version
+``GET /reports``      the current tree's ranked reports, served from the
+                      daemon's pinned warm state (a warm ``analyze``)
+``GET /runs``         recorded run history (id, timestamp, report count)
+``GET /runs/<id>``    one stored run's structured reports
+``GET /diff``         ``?base=&head=`` hash set-difference between two
+                      runs; ``head=current`` (the default with a live
+                      daemon) diffs a stored base against the tree as it
+                      is now
+``GET /triage``       the shared triage document
+``POST /triage``      record triage entries (suppressions, severity
+                      overrides) into the shared store; the daemon's
+                      warm response cache is invalidated so the next
+                      ``analyze`` re-renders under the new state
+``GET /stats``        the daemon's cumulative stats
+====================  =====================================================
+
+Every response is JSON.  The server can also run *standalone* over a
+store backend with no daemon (``python -m repro.driver.report_server``):
+the history/diff/triage endpoints work identically -- ``/reports`` then
+serves the latest recorded run -- so a dashboard can sit on a shared
+RemoteStore with no analysis capability at all.
+
+Concurrency: handlers run on one thread per connection
+(``ThreadingHTTPServer``); everything touching the daemon goes through
+``daemon.lock`` (shared with the UNIX-socket serve loop), and triage
+writes are serialized by a server-side lock.
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.reports.history import RunHistory, RunHistoryError
+from repro.reports.triage import TriageEntry, TriageError, TriageStore
+
+#: Bump when the endpoint shapes change; every response carries it.
+REPORT_PROTOCOL = 1
+
+
+class ReportServerError(Exception):
+    """Server-side setup failure (no backend, bind error)."""
+
+
+class _Routes:
+    """The endpoint logic, separated from HTTP plumbing for testing."""
+
+    def __init__(self, daemon=None, backend=None, stats=None):
+        self.daemon = daemon
+        if backend is None and daemon is not None:
+            backend = daemon.backend()
+        if backend is None:
+            raise ReportServerError(
+                "report server needs a store backend or a daemon"
+            )
+        self.backend = backend
+        self.stats = stats if stats is not None else (
+            daemon.stats if daemon is not None else None
+        )
+        self.history = RunHistory(self.backend, stats=self.stats)
+        self._triage_lock = threading.Lock()
+
+    def _count(self, name, amount=1):
+        if self.stats is not None:
+            self.stats.add(name, amount)
+
+    # -- endpoint handlers -------------------------------------------------
+
+    def ping(self):
+        return 200, {"ok": True, "protocol": REPORT_PROTOCOL,
+                     "pid": os.getpid(),
+                     "live": self.daemon is not None}
+
+    def runs(self):
+        return 200, {"ok": True, "protocol": REPORT_PROTOCOL,
+                     "runs": self.history.list_runs()}
+
+    def run_reports(self, run_id):
+        try:
+            doc = self.history.load_run(self.history.resolve_run_id(run_id))
+        except RunHistoryError as err:
+            return 404, {"ok": False, "protocol": REPORT_PROTOCOL,
+                         "error": str(err)}
+        return 200, {"ok": True, "protocol": REPORT_PROTOCOL,
+                     "run_id": doc.get("run_id"),
+                     "timestamp": doc.get("timestamp"),
+                     "meta": doc.get("meta") or {},
+                     "reports": doc.get("reports") or []}
+
+    def current_reports(self):
+        """The tree as it is now: a warm daemon ``analyze`` when live,
+        the latest recorded run otherwise."""
+        if self.daemon is not None:
+            with self.daemon.lock:
+                response = self.daemon.analyze()
+                reports = list(self.daemon._last_reports)
+            return 200, {
+                "ok": True, "protocol": REPORT_PROTOCOL,
+                "run_id": response.get("run_id"),
+                "report_count": len(reports),
+                "text": response.get("reports", ""),
+                "served_from": response.get("served_from"),
+                "reports": [report.to_dict() for report in reports],
+            }
+        latest = self.history.latest_run_id()
+        if latest is None:
+            return 404, {"ok": False, "protocol": REPORT_PROTOCOL,
+                         "error": "no runs recorded yet"}
+        return self.run_reports(latest)
+
+    def diff(self, query):
+        base = (query.get("base") or ["latest"])[0]
+        head = (query.get("head") or
+                ["current" if self.daemon is not None else "latest"])[0]
+        triage = self._load_triage()
+        try:
+            if head == "current" and self.daemon is not None:
+                with self.daemon.lock:
+                    self.daemon.analyze()
+                    head_reports = list(self.daemon._last_reports)
+                diff = self.history.diff(base, None, triage=triage,
+                                         head_reports=head_reports)
+            else:
+                diff = self.history.diff(base, head, triage=triage)
+        except RunHistoryError as err:
+            return 404, {"ok": False, "protocol": REPORT_PROTOCOL,
+                         "error": str(err)}
+        diff.update(ok=True, protocol=REPORT_PROTOCOL)
+        return 200, diff
+
+    def _load_triage(self):
+        try:
+            return TriageStore.load_backend(self.backend)
+        except TriageError:
+            self._count("triage_load_errors")
+            return TriageStore()
+
+    def triage_get(self):
+        doc = self._load_triage().to_doc()
+        doc.update(ok=True, protocol=REPORT_PROTOCOL)
+        return 200, doc
+
+    def triage_post(self, body):
+        """Record triage entries.  Body: one entry object, or
+        ``{"entries": [...]}``; each entry is the TriageEntry document
+        shape (``kind``, ``key``, optional ``verdict``/``severity``/
+        ``reason``/``author``)."""
+        try:
+            doc = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError) as err:
+            return 400, {"ok": False, "protocol": REPORT_PROTOCOL,
+                         "error": "undecodable body: %s" % err}
+        entries = doc.get("entries") if isinstance(doc, dict) else None
+        if entries is None:
+            entries = [doc]
+        with self._triage_lock:
+            store = self._load_triage()
+            try:
+                for entry in entries:
+                    parsed = TriageEntry.from_dict(entry)
+                    if parsed.created is None:
+                        parsed.created = time.time()
+                    store.add(parsed)
+            except (TriageError, AttributeError, TypeError) as err:
+                return 400, {"ok": False, "protocol": REPORT_PROTOCOL,
+                             "error": str(err)}
+            store.save_backend(self.backend)
+        self._count("triage_posts")
+        if self.daemon is not None:
+            with self.daemon.lock:
+                self.daemon.invalidate()
+        return 200, {"ok": True, "protocol": REPORT_PROTOCOL,
+                     "entries": len(store)}
+
+    def server_stats(self):
+        if self.daemon is not None:
+            with self.daemon.lock:
+                payload = self.daemon.stats.as_dict()
+        elif self.stats is not None:
+            payload = self.stats.as_dict()
+        else:
+            payload = {}
+        return 200, {"ok": True, "protocol": REPORT_PROTOCOL,
+                     "stats": payload}
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, method, path, query, body):
+        """Route one request; returns ``(status, json_payload)``."""
+        self._count("report_server_requests")
+        try:
+            if method == "GET":
+                if path == "/ping":
+                    return self.ping()
+                if path == "/runs":
+                    return self.runs()
+                if path.startswith("/runs/"):
+                    run_id = path[len("/runs/"):]
+                    if run_id.endswith("/reports"):
+                        run_id = run_id[: -len("/reports")]
+                    return self.run_reports(run_id.strip("/"))
+                if path == "/reports":
+                    return self.current_reports()
+                if path == "/diff":
+                    return self.diff(query)
+                if path == "/triage":
+                    return self.triage_get()
+                if path == "/stats":
+                    return self.server_stats()
+            elif method == "POST":
+                if path == "/triage":
+                    return self.triage_post(body)
+            self._count("report_server_errors")
+            return 404, {"ok": False, "protocol": REPORT_PROTOCOL,
+                         "error": "no such endpoint: %s %s" % (method, path)}
+        except Exception as err:  # degrade, never kill the worker thread
+            self._count("report_server_errors")
+            return 500, {"ok": False, "protocol": REPORT_PROTOCOL,
+                         "error": repr(err)}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, method):
+        parsed = urlparse(self.path)
+        body = b""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            body = self.rfile.read(length)
+        status, payload = self.server.routes.dispatch(
+            method, parsed.path, parse_qs(parsed.query), body
+        )
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self):
+        self._respond("GET")
+
+    def do_POST(self):
+        self._respond("POST")
+
+    def log_message(self, format, *args):
+        pass  # request logging lives in the stats counters
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ReportServer:
+    """The threaded HTTP report server.
+
+    ``start()`` binds on a daemon thread and returns once listening
+    (tests read ``url``); ``serve_forever()`` runs in the foreground;
+    ``stop()`` shuts the threaded server down.
+    """
+
+    def __init__(self, daemon=None, backend=None, host="127.0.0.1",
+                 port=0, stats=None):
+        self.routes = _Routes(daemon=daemon, backend=backend, stats=stats)
+        self.host = host
+        self.port = port
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def url(self):
+        return "http://%s:%d" % (self.host, self.port)
+
+    def _bind(self):
+        if self._httpd is None:
+            self._httpd = _Server((self.host, self.port), _Handler)
+            self._httpd.routes = self.routes
+            self.port = self._httpd.server_address[1]
+        return self._httpd
+
+    def start(self):
+        """Serve on a daemon thread; returns the bound URL."""
+        httpd = self._bind()
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            daemon=True,
+        )
+        self._thread.start()
+        return self.url
+
+    def serve_forever(self):
+        self._bind().serve_forever(poll_interval=0.1)
+
+    def stop(self):
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="xgcc-reports",
+        description="standalone HTTP report server over a store backend "
+        "(run history, diffs, and triage; no analysis)",
+    )
+    parser.add_argument("--cache-dir", help="local store directory")
+    parser.add_argument("--store-url",
+                        default=os.environ.get("XGCC_STORE") or None,
+                        help="shared artifact-store server URL")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: any free port)")
+    args = parser.parse_args(argv)
+
+    from repro.driver.store import open_store
+
+    backend = open_store(cache_dir=args.cache_dir, store_url=args.store_url)
+    if backend is None:
+        parser.error("need --cache-dir or --store-url")
+    server = ReportServer(backend=backend, host=args.host, port=args.port)
+    server._bind()
+    print("xgcc-reports: serving on %s" % server.url, file=sys.stderr,
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,8 +34,14 @@ from contextlib import contextmanager
 #: ``matcher_compile_s:<name>`` timers; docs/MATCHER.md).  6: the
 #: shared artifact-store counters (``store_round_trips``,
 #: ``store_batch_keys``, ``store_cas_conflicts``, ``store_overlay_hits``,
-#: ``store_fallbacks``, ``store_degraded``; docs/STORE.md).
-SCHEMA_VERSION = 6
+#: ``store_fallbacks``, ``store_degraded``; docs/STORE.md).  7: the
+#: structured-report counters (docs/REPORTS.md): run history
+#: (``report_runs_recorded``, ``report_run_record_errors``,
+#: ``report_json_dumps``), diffing (``diff_queries``), triage
+#: (``triage_suppressed``, ``triage_annotated``, ``triage_posts``,
+#: ``triage_load_errors``), and the HTTP report server
+#: (``report_server_requests``, ``report_server_errors``).
+SCHEMA_VERSION = 7
 
 
 class DriverStats:

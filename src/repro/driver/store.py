@@ -59,7 +59,10 @@ STORE_PROTOCOL = 1
 #: pathological livelock into a loud lost merge, never an infinite loop.
 MANIFEST_CAS_RETRIES = 64
 
-_TIER_SUFFIX = {"ast": ".ast", "sum": ".sum"}
+#: Frame tiers: cached ASTs, per-root summaries, and run-history
+#: documents (repro.reports.history).  The ``run`` tier is a *record*,
+#: not a cache -- :meth:`LocalStore.gc` never sweeps it.
+_TIER_SUFFIX = {"ast": ".ast", "sum": ".sum", "run": ".run"}
 
 
 class StoreError(Exception):
@@ -108,8 +111,9 @@ def _manifest_files(summaries_dir):
 class LocalStore:
     """The filesystem backend: PR 1/PR 3's on-disk layout, verbatim.
 
-    ``root`` places both tiers the way the driver always has (tier 1
-    under ``root``, tier 2 and manifests under ``root/summaries``);
+    ``root`` places the tiers the way the driver always has (tier 1
+    under ``root``, tier 2 and manifests under ``root/summaries``, run
+    history under ``root/runs``);
     ``ast_dir`` / ``sum_dir`` place one tier directly (the path the
     ``AstCache(dir)`` / ``SummaryCache(dir)`` compatibility constructors
     take).  A tier with no directory raises :class:`StoreError` when
@@ -119,7 +123,8 @@ class LocalStore:
     #: Batched prefetch buys nothing on a local filesystem.
     prefers_batch = False
 
-    def __init__(self, root=None, ast_dir=None, sum_dir=None, stats=None):
+    def __init__(self, root=None, ast_dir=None, sum_dir=None, stats=None,
+                 run_dir=None):
         self.root = root
         self.ast_dir = ast_dir if ast_dir is not None else root
         if sum_dir is not None:
@@ -127,6 +132,12 @@ class LocalStore:
         else:
             self.sum_dir = (
                 os.path.join(root, "summaries") if root is not None else None
+            )
+        if run_dir is not None:
+            self.run_dir = run_dir
+        else:
+            self.run_dir = (
+                os.path.join(root, "runs") if root is not None else None
             )
         self.stats = stats
 
@@ -139,15 +150,22 @@ class LocalStore:
 
     # -- frames ------------------------------------------------------------
 
+    def _tier_base(self, tier):
+        if tier == "ast":
+            return self.ast_dir
+        if tier == "run":
+            return self.run_dir
+        return self.sum_dir
+
     def _tier_dir(self, tier):
-        directory = self.ast_dir if tier == "ast" else self.sum_dir
+        directory = self._tier_base(tier)
         if directory is None:
             raise StoreError("local store has no %r tier directory" % tier)
         return directory
 
     def local_path(self, tier, key):
         """Where this key lives on disk (whether or not it exists)."""
-        directory = self.ast_dir if tier == "ast" else self.sum_dir
+        directory = self._tier_base(tier)
         if directory is None:
             return None
         return os.path.join(directory, key[:2], key + _TIER_SUFFIX[tier])

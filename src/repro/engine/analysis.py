@@ -204,6 +204,13 @@ class AnalysisResult:
         #: extension user globals)?  When True, per-root artifacts are
         #: not independent and must not be reused incrementally.
         self.coupled = coupled
+        # Every driver path (serial, parallel, incremental replay, daemon)
+        # finalizes its report set here, so stable hashes are assigned in
+        # exactly one place -- over the canonical serial order the log
+        # guarantees (occurrence ordinals depend on it).
+        from repro.reports.hashing import assign_report_hashes
+
+        assign_report_hashes(self.log.reports)
 
     @property
     def reports(self):

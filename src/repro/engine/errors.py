@@ -1,110 +1,18 @@
-"""Error reports and the report log.
+"""The engine-side report log.
 
-Checkers report "not only what the error was, but also why" (§3.2); every
-report carries the inputs the ranking stage (§9) needs: the distance from
-where checking began, the number of conditionals crossed, the synonym
-chain length, and whether the error is local or interprocedural.
+The report model itself lives in :mod:`repro.reports.model`; this module
+keeps its historical import surface (``ErrorReport``, ``SEVERITY_ORDER``)
+as re-exports and owns :class:`ErrorLog` -- the engine-side collector
+whose serial order is the canonical report order every driver path
+reproduces byte-identically (and which stable report hashes take their
+occurrence ordinals from, :mod:`repro.reports.hashing`).
 """
 
-from repro.cfront.source import UNKNOWN_LOCATION
+from repro.reports.model import SEVERITY_ORDER, Report
 
-#: Severity annotations (§9): SECURITY ranks highest, then ERROR, then
-#: unannotated, then MINOR.
-SEVERITY_ORDER = {"SECURITY": 0, "ERROR": 1, None: 2, "MINOR": 3}
-
-
-class ErrorReport:
-    """One rule violation."""
-
-    def __init__(
-        self,
-        checker,
-        message,
-        location=None,
-        function=None,
-        origin_location=None,
-        conditionals=0,
-        synonym_chain=0,
-        call_chain=0,
-        severity=None,
-        rule_id=None,
-        variable=None,
-        trace=None,
-    ):
-        self.checker = checker
-        self.message = message
-        self.location = location or UNKNOWN_LOCATION
-        self.function = function
-        #: Where the extension started checking the property (§9 "Distance").
-        self.origin_location = origin_location
-        self.conditionals = conditionals
-        self.synonym_chain = synonym_chain
-        #: Length of the shortest call chain causing the error; 0 == local.
-        self.call_chain = call_chain
-        self.severity = severity
-        #: The "common analysis fact" for grouping (§9), e.g. the freeing
-        #: function's name for a use-after-free report.
-        self.rule_id = rule_id
-        #: Names of variables involved, for history matching (§8).
-        self.variable = variable
-        #: The "why" trace (§3.2): (event, location) steps since tracking
-        #: began -- "checkers must report not only what the error was, but
-        #: also why the error occurred."
-        self.trace = list(trace or [])
-
-    @property
-    def is_local(self):
-        return self.call_chain == 0
-
-    @property
-    def distance(self):
-        """Line distance between the error and where checking began."""
-        if self.origin_location is None:
-            return 0
-        if self.origin_location.filename != self.location.filename:
-            return 1000  # cross-file: strictly worse than any local span
-        return abs(self.location.line - self.origin_location.line)
-
-    def identity(self):
-        """The dedup key: DFS path enumeration revisits program points."""
-        return (
-            self.checker,
-            self.message,
-            self.location.filename,
-            self.location.line,
-            self.location.column,
-        )
-
-    def history_key(self):
-        """The cross-version matching key (§8 History): file name, function
-        name, variable names, and the error itself -- fields "relatively
-        invariant under edits (unlike, for example, line numbers)"."""
-        return (self.checker, self.location.filename, self.function,
-                self.variable, self.message)
-
-    def __repr__(self):
-        return "<%s %s:%d %s>" % (
-            self.checker,
-            self.location.filename,
-            self.location.line,
-            self.message,
-        )
-
-    def format(self):
-        parts = ["%s: %s: %s" % (self.location, self.checker, self.message)]
-        if self.function:
-            parts.append("in %s" % self.function)
-        if self.origin_location is not None:
-            parts.append("property began at %s" % (self.origin_location,))
-        return " ".join(parts)
-
-    def format_trace(self):
-        """The multi-line why-trace for inspection (one step per line)."""
-        lines = [self.format()]
-        for event, location in self.trace:
-            where = " at %s" % location if location is not None else ""
-            lines.append("    %s%s" % (event, where))
-        return "\n".join(lines)
+#: Checkers and the engine construct reports under the historical name;
+#: the class is the structured-report model.
+ErrorReport = Report
 
 
 class ErrorLog:

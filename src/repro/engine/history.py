@@ -6,46 +6,48 @@ across versions by comparing file name, function name, variable names
 involved in the analysis, and the actual error itself as stated by the
 checker.  These fields are relatively invariant under edits (unlike, for
 example, line numbers)."
+
+The matching itself now lives in :mod:`repro.reports.triage` (the one
+suppression predicate); this class remains the paper-shaped façade over
+a :class:`TriageStore` holding ``history``-kind entries.  ``load``
+accepts both the triage document format and the legacy bare-list files
+this module used to write.
 """
 
-import json
+from repro.reports.triage import TriageStore
 
 
 class HistoryDatabase:
     """Remembered false positives from earlier versions of a code base."""
 
-    def __init__(self):
-        self._suppressed = set()
+    def __init__(self, store=None):
+        self.store = store if store is not None else TriageStore()
 
     def suppress(self, report):
         """Mark a report (inspected and judged a false positive) for
         suppression in future versions."""
-        self._suppressed.add(report.history_key())
+        self.store.suppress_history(report.history_key())
 
     def suppress_key(self, checker, filename, function, variable, message):
-        self._suppressed.add((checker, filename, function, variable, message))
+        self.store.suppress_history(
+            (checker, filename, function, variable, message)
+        )
 
     def is_suppressed(self, report):
-        return report.history_key() in self._suppressed
+        return self.store.is_suppressed(report)
 
     def filter(self, reports):
         """Drop reports matching a remembered false positive."""
-        return [r for r in reports if not self.is_suppressed(r)]
+        return self.store.filter(reports)
 
     def __len__(self):
-        return len(self._suppressed)
+        return len(self.store)
 
     # -- persistence ------------------------------------------------------------
 
     def save(self, path):
-        rows = [list(key) for key in sorted(self._suppressed, key=repr)]
-        with open(path, "w") as handle:
-            json.dump(rows, handle, indent=2)
+        self.store.save(path)
 
     @classmethod
     def load(cls, path):
-        db = cls()
-        with open(path) as handle:
-            for row in json.load(handle):
-                db._suppressed.add(tuple(row))
-        return db
+        return cls(TriageStore.load(path))

@@ -1,6 +1,7 @@
 """Error ranking (§9): generic, severity, statistical, and code ranking."""
 
 from repro.ranking.generic import generic_rank, generic_sort_key
+from repro.ranking.rank import RANK_MODES, rank_reports
 from repro.ranking.severity import severity_class, stratify
 from repro.ranking.statistical import (
     rank_by_rule_reliability,
@@ -16,4 +17,6 @@ __all__ = [
     "z_statistic",
     "rank_by_rule_reliability",
     "rank_functions_by_code",
+    "rank_reports",
+    "RANK_MODES",
 ]

@@ -1,0 +1,51 @@
+"""The one ranking entry point.
+
+``driver/cli.py`` and ``driver/daemon.py`` used to branch over the
+ranking modes separately; :func:`rank_reports` consolidates them and
+makes the ranking stage *annotate* the structured reports it orders --
+``report.annotations["rank"]`` is the 1-based position in the ranked
+output and ``annotations["rank_class"]`` the class the report ranked in
+(§9 partitions) -- so any renderer (text, JSON, the report server) can
+show ranking without re-deriving it.  The returned order is exactly the
+pre-refactor order per mode; annotations never change rendered text.
+"""
+
+from repro.ranking.generic import generic_rank
+from repro.ranking.severity import stratify
+from repro.ranking.statistical import rank_by_rule_reliability
+
+RANK_MODES = ("generic", "severity", "statistical", "none")
+
+
+def _rank_class(report, mode):
+    if mode == "severity":
+        return report.severity or "unannotated"
+    if mode == "generic":
+        scope = "local" if report.is_local else "interprocedural"
+        return scope + ("+synonyms" if report.synonym_chain else "")
+    if mode == "statistical":
+        return str(report.rule_id)
+    return None
+
+
+def rank_reports(reports, mode="severity", log=None):
+    """Order ``reports`` by ``mode`` and annotate each with its rank.
+
+    ``log`` is the ErrorLog carrying example/counterexample counters;
+    statistical ranking without one degrades to the incoming order (the
+    historical CLI behavior when no engine result is at hand).
+    """
+    if mode == "generic":
+        ranked = generic_rank(reports)
+    elif mode == "severity":
+        ranked = stratify(reports)
+    elif mode == "statistical" and log is not None:
+        ranked = rank_by_rule_reliability(reports, log)
+    else:
+        ranked = list(reports)
+    for position, report in enumerate(ranked, 1):
+        report.annotations["rank"] = position
+        rank_class = _rank_class(report, mode)
+        if rank_class is not None:
+            report.annotations["rank_class"] = rank_class
+    return ranked

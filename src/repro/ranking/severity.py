@@ -44,5 +44,9 @@ def group_by_rule(reports):
 
 def suppress_rule(reports, rule_id):
     """Drop a whole group at once ("easy to suppress them all if the
-    analysis is wrong")."""
-    return [r for r in reports if r.rule_id != rule_id]
+    analysis is wrong").  One-shot wrapper over the triage predicate
+    (:mod:`repro.reports.triage`), which is where persistent rule
+    suppressions live."""
+    from repro.reports.triage import TriageEntry, TriageStore
+
+    return TriageStore([TriageEntry("rule", rule_id)]).filter(reports)

@@ -1,0 +1,44 @@
+"""Structured reports: the product of an analysis run.
+
+The paper's workflow ends at ranked text; this package makes the
+*structured report* the product and text one renderer over it
+(CodeChecker's layering, PAPERS.md).  Four pieces:
+
+- :mod:`repro.reports.model` -- the :class:`Report` model (checker,
+  message, severity, structured locations, error-path steps) plus the
+  text renderer that reproduces the classic ranked output byte for
+  byte, and dict/JSON round-tripping.
+- :mod:`repro.reports.hashing` -- the **stable report hash**: checker +
+  structurally-keyed location (function, variable, message, path-shape
+  digest -- never line numbers), so a report keeps its identity across
+  line drift and unrelated edits.
+- :mod:`repro.reports.history` -- the run-history layer: every run
+  persisted through the artifact-store backend keyed by run id, with
+  ``diff --new/--resolved/--unresolved`` computed by hash
+  set-difference.
+- :mod:`repro.reports.triage` -- persistent triage: suppressions with
+  provenance, severity overrides, and false-positive marks keyed by
+  report hash (or rule, or the §8 history key), shared through any
+  store backend.
+"""
+
+from repro.reports.hashing import (
+    assign_report_hashes,
+    report_base_key,
+    report_hash,
+)
+from repro.reports.history import RunHistory, diff_hash_sets
+from repro.reports.model import SEVERITY_ORDER, Report
+from repro.reports.triage import TriageEntry, TriageStore
+
+__all__ = [
+    "Report",
+    "SEVERITY_ORDER",
+    "report_base_key",
+    "report_hash",
+    "assign_report_hashes",
+    "RunHistory",
+    "diff_hash_sets",
+    "TriageEntry",
+    "TriageStore",
+]

@@ -1,0 +1,203 @@
+"""The structured report model.
+
+A :class:`Report` is one rule violation: checker, message, severity,
+structured locations (never pre-rendered strings), the §3.2 "why"
+error-path steps, and the §9 ranking inputs.  Text output is *one
+renderer* over the model (:meth:`Report.render_text`), kept byte-for-
+byte identical to the classic ranked report lines; JSON is another
+(:meth:`Report.to_dict` / :meth:`Report.from_dict` round-trip losslessly
+through the renderer).
+
+The model also carries *annotations*: values layered onto a report by
+later stages -- the ranking stage records the report's rank and
+severity class, the triage stage its triage verdict -- without the
+stages ever owning or re-deriving the underlying report.
+"""
+
+from repro.cfront.source import UNKNOWN_LOCATION, Location
+
+#: Severity annotations (§9): SECURITY ranks highest, then ERROR, then
+#: unannotated, then MINOR.
+SEVERITY_ORDER = {"SECURITY": 0, "ERROR": 1, None: 2, "MINOR": 3}
+
+
+def location_to_dict(location):
+    """A structured location document, or None."""
+    if location is None:
+        return None
+    return {
+        "file": location.filename,
+        "line": location.line,
+        "column": location.column,
+    }
+
+
+def location_from_dict(doc):
+    if doc is None:
+        return None
+    return Location(doc["file"], doc["line"], doc["column"])
+
+
+class Report:
+    """One rule violation.
+
+    Checkers report "not only what the error was, but also why" (§3.2);
+    every report carries the inputs the ranking stage (§9) needs: the
+    distance from where checking began, the number of conditionals
+    crossed, the synonym chain length, and whether the error is local
+    or interprocedural.
+    """
+
+    def __init__(
+        self,
+        checker,
+        message,
+        location=None,
+        function=None,
+        origin_location=None,
+        conditionals=0,
+        synonym_chain=0,
+        call_chain=0,
+        severity=None,
+        rule_id=None,
+        variable=None,
+        trace=None,
+    ):
+        self.checker = checker
+        self.message = message
+        self.location = location or UNKNOWN_LOCATION
+        self.function = function
+        #: Where the extension started checking the property (§9 "Distance").
+        self.origin_location = origin_location
+        self.conditionals = conditionals
+        self.synonym_chain = synonym_chain
+        #: Length of the shortest call chain causing the error; 0 == local.
+        self.call_chain = call_chain
+        self.severity = severity
+        #: The "common analysis fact" for grouping (§9), e.g. the freeing
+        #: function's name for a use-after-free report.
+        self.rule_id = rule_id
+        #: Names of variables involved, for history matching (§8).
+        self.variable = variable
+        #: The "why" error path (§3.2): (event, location) steps since
+        #: tracking began -- "checkers must report not only what the
+        #: error was, but also why the error occurred."
+        self.trace = list(trace or [])
+        #: The stable report hash (repro.reports.hashing); assigned when
+        #: the run's report set is finalized, None before that.
+        self.report_hash = None
+        #: Stage annotations: the ranking stage records ``rank`` (1-based
+        #: position in the ranked output) and ``rank_class``; the triage
+        #: stage records ``triage`` (the matching entry's document).
+        self.annotations = {}
+
+    @property
+    def is_local(self):
+        return self.call_chain == 0
+
+    @property
+    def distance(self):
+        """Line distance between the error and where checking began."""
+        if self.origin_location is None:
+            return 0
+        if self.origin_location.filename != self.location.filename:
+            return 1000  # cross-file: strictly worse than any local span
+        return abs(self.location.line - self.origin_location.line)
+
+    def identity(self):
+        """The dedup key: DFS path enumeration revisits program points."""
+        return (
+            self.checker,
+            self.message,
+            self.location.filename,
+            self.location.line,
+            self.location.column,
+        )
+
+    def history_key(self):
+        """The cross-version matching key (§8 History): file name, function
+        name, variable names, and the error itself -- fields "relatively
+        invariant under edits (unlike, for example, line numbers)"."""
+        return (self.checker, self.location.filename, self.function,
+                self.variable, self.message)
+
+    def __repr__(self):
+        return "<%s %s:%d %s>" % (
+            self.checker,
+            self.location.filename,
+            self.location.line,
+            self.message,
+        )
+
+    # -- renderers -----------------------------------------------------------
+
+    def format(self):
+        """The classic one-line text rendering (byte-identity contract)."""
+        parts = ["%s: %s: %s" % (self.location, self.checker, self.message)]
+        if self.function:
+            parts.append("in %s" % self.function)
+        if self.origin_location is not None:
+            parts.append("property began at %s" % (self.origin_location,))
+        return " ".join(parts)
+
+    def format_trace(self):
+        """The multi-line why-trace for inspection (one step per line)."""
+        lines = [self.format()]
+        for event, location in self.trace:
+            where = " at %s" % location if location is not None else ""
+            lines.append("    %s%s" % (event, where))
+        return "\n".join(lines)
+
+    def render_text(self, trace=False):
+        """Text is one renderer over the model."""
+        return self.format_trace() if trace else self.format()
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        """The full structured document (lossless: ``from_dict`` of it
+        renders byte-identically)."""
+        doc = {
+            "checker": self.checker,
+            "message": self.message,
+            "location": location_to_dict(self.location),
+            "function": self.function,
+            "origin_location": location_to_dict(self.origin_location),
+            "conditionals": self.conditionals,
+            "synonym_chain": self.synonym_chain,
+            "call_chain": self.call_chain,
+            "severity": self.severity,
+            "rule_id": self.rule_id,
+            "variable": self.variable,
+            "path": [
+                {"event": event, "location": location_to_dict(location)}
+                for event, location in self.trace
+            ],
+            "hash": self.report_hash,
+        }
+        if self.annotations:
+            doc["annotations"] = dict(self.annotations)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc):
+        report = cls(
+            checker=doc["checker"],
+            message=doc["message"],
+            location=location_from_dict(doc.get("location")),
+            function=doc.get("function"),
+            origin_location=location_from_dict(doc.get("origin_location")),
+            conditionals=doc.get("conditionals", 0),
+            synonym_chain=doc.get("synonym_chain", 0),
+            call_chain=doc.get("call_chain", 0),
+            severity=doc.get("severity"),
+            rule_id=doc.get("rule_id"),
+            variable=doc.get("variable"),
+            trace=[
+                (step["event"], location_from_dict(step.get("location")))
+                for step in doc.get("path", ())
+            ],
+        )
+        report.report_hash = doc.get("hash")
+        report.annotations = dict(doc.get("annotations") or {})
+        return report
