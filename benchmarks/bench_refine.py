@@ -1,0 +1,142 @@
+"""Refinement benchmarks: demotion teeth and the warm verdict cache.
+
+Dumped to ``BENCH_refine.json``: over a seeded teeth workload -- pairs
+of functions whose guards the §8 syntactic pruner cannot refute (the
+strict-inequality off-by-one pattern, ``x < c`` then ``x > c-1``) next
+to genuinely feasible twins --
+
+- the cold pass evaluates every report (slice + bounded enumeration +
+  interval domain) and must classify every seeded contradiction
+  ``infeasible`` and every twin ``confirmed`` (the demotion-rate
+  tripwire: refinement that stops demoting the seeded false paths
+  fails here, not in production),
+- the warm pass re-refines the same tree against the same artifact
+  store and must serve *every* verdict from the (function fingerprint,
+  report hash) cache -- ``refine_cache_hits == reports refined`` --
+  at least 5x faster than the cold evaluating pass (the cache
+  tripwire).
+"""
+
+import functools
+import json
+import time
+
+from repro.cfg.fingerprint import fingerprint_tables
+from repro.driver.cli import _build_extensions
+from repro.driver.project import Project
+from repro.driver.stats import DriverStats
+from repro.driver.store import LocalStore
+from repro.ranking import rank_reports
+from repro.refine import demote_infeasible, refine_reports, verdict_of
+
+SUMMARY_PATH = "BENCH_refine.json"
+
+bench_checkers = functools.partial(_build_extensions, ("free",), ())
+
+#: Seeded (contradictory, feasible) function pairs.
+N_PAIRS = 8
+
+_CONTRADICTORY = (
+    "int bad_%(i)d(int *p, int x) {\n"
+    "    if (x < %(hi)d)\n"
+    "        kfree(p);\n"
+    "    if (x > %(lo)d)\n"
+    "        return *p;\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+_FEASIBLE = (
+    "int ok_%(i)d(int *q, int y) {\n"
+    "    if (y > 0)\n"
+    "        kfree(q);\n"
+    "    if (y > 1)\n"
+    "        return *q;\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+
+def teeth_module():
+    parts = []
+    for i in range(N_PAIRS):
+        hi = 5 + i
+        parts.append(_CONTRADICTORY % {"i": i, "hi": hi, "lo": hi - 1})
+        parts.append(_FEASIBLE % {"i": i})
+    return "\n".join(parts)
+
+
+def analyzed_reports(root, path):
+    project = Project(include_paths=[root])
+    project.compile_files([path])
+    result = project.run(bench_checkers())
+    reports = rank_reports(list(result.reports), "severity", result.log)
+    return project, reports
+
+
+def timed_refine(reports, callgraph, backend, fingerprints):
+    stats = DriverStats()
+    start = time.perf_counter()
+    refine_reports(reports, callgraph, stats=stats, backend=backend,
+                   fingerprints=fingerprints)
+    return time.perf_counter() - start, stats
+
+
+def test_refine_demotes_seeded_false_paths_and_caches(tmp_path):
+    root = tmp_path / "src"
+    root.mkdir()
+    path = root / "teeth.c"
+    path.write_text(teeth_module())
+
+    project, cold_reports = analyzed_reports(str(root), str(path))
+    assert len(cold_reports) == 2 * N_PAIRS, [r.function
+                                              for r in cold_reports]
+    __, fingerprints = fingerprint_tables(project.callgraph)
+    backend = LocalStore(str(tmp_path / "store"))
+
+    cold_s, cold_stats = timed_refine(cold_reports, project.callgraph,
+                                      backend, fingerprints)
+    verdicts = {r.function: verdict_of(r) for r in cold_reports}
+    for i in range(N_PAIRS):
+        assert verdicts["bad_%d" % i] == "infeasible", verdicts
+        assert verdicts["ok_%d" % i] == "confirmed", verdicts
+    demoted = demote_infeasible(list(cold_reports))
+    assert [r.function.startswith("ok_") for r in demoted] == \
+        [True] * N_PAIRS + [False] * N_PAIRS
+    demotion_rate = sum(
+        1 for r in cold_reports if verdict_of(r) == "infeasible"
+    ) / len(cold_reports)
+    assert demotion_rate >= N_PAIRS / (2 * N_PAIRS)
+    assert cold_stats.count("refine_cache_hits") == 0
+
+    # The warm pass: a fresh analysis of the unchanged tree against the
+    # same store must replay every verdict instead of re-enumerating.
+    warm_project, warm_reports = analyzed_reports(str(root), str(path))
+    __, warm_fps = fingerprint_tables(warm_project.callgraph)
+    warm_s, warm_stats = timed_refine(warm_reports,
+                                      warm_project.callgraph,
+                                      backend, warm_fps)
+    assert {r.function: verdict_of(r) for r in warm_reports} == verdicts
+    warm_hits = warm_stats.count("refine_cache_hits")
+    assert warm_hits == len(warm_reports), warm_stats.counters
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    assert speedup >= 5.0, (cold_s, warm_s)
+
+    summary = {
+        "refine": {
+            "reports": len(cold_reports),
+            "confirmed": sum(1 for v in verdicts.values()
+                             if v == "confirmed"),
+            "infeasible": sum(1 for v in verdicts.values()
+                              if v == "infeasible"),
+            "demotion_rate": demotion_rate,
+            "cold_refine_s": round(cold_s, 6),
+            "warm_refine_s": round(warm_s, 6),
+            "warm_speedup": round(speedup, 2),
+            "warm_cache_hits": warm_hits,
+        }
+    }
+    with open(SUMMARY_PATH, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(summary, indent=2, sort_keys=True))

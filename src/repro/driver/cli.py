@@ -92,6 +92,26 @@ def build_parser():
         "printed on stderr and usable with --diff",
     )
     parser.add_argument(
+        "--refine", nargs="?", const="demote", metavar="MODE",
+        choices=["annotate", "demote", "drop"],
+        help="path-feasibility refinement (docs/REFINE.md): slice each "
+        "report's error path and symbolically execute it (intervals + "
+        "congruence, no SMT); verdicts ride as report annotations and "
+        "feed statistical ranking, and MODE picks what happens to "
+        "infeasible reports after ranking: 'demote' (the default) "
+        "sinks them below the rest, 'drop' removes them, 'annotate' "
+        "leaves the order untouched; verdicts are cached per "
+        "(function fingerprint, report hash) in the artifact store",
+    )
+    parser.add_argument(
+        "--prune-runs", type=int, metavar="N",
+        help="bound the stored run history to the newest N runs (0 "
+        "empties it -- deliberate, not a no-op); with no input files "
+        "this prunes and exits, otherwise it runs after --record-run; "
+        "with --watch the daemon re-applies the bound after every "
+        "recorded run",
+    )
+    parser.add_argument(
         "--diff", nargs=2, metavar=("BASE", "HEAD"),
         help="no analysis: diff two recorded runs by stable report hash "
         "('latest' and unambiguous id prefixes work); prints new / "
@@ -323,6 +343,24 @@ def _triage_record_mode(parser, args):
     return 0
 
 
+def _prune_runs_mode(parser, args):
+    """``xgcc --prune-runs N`` with no input files: bound the stored run
+    history and exit (``N=0`` empties it)."""
+    from repro.reports.history import RunHistory, RunHistoryError
+
+    backend = _open_backend(args)
+    if backend is None:
+        parser.error("--prune-runs requires --cache-dir or --store-url")
+    try:
+        deleted = RunHistory(backend).prune(keep=args.prune_runs)
+    except RunHistoryError as error:
+        print("xgcc: %s" % error, file=sys.stderr)
+        return 2
+    print("xgcc: pruned %d stored run(s) (keep=%d)"
+          % (deleted, args.prune_runs), file=sys.stderr)
+    return 0
+
+
 #: ``--diff`` bucket order (and the flag for each).
 _DIFF_BUCKETS = ("new", "resolved", "unresolved")
 
@@ -484,6 +522,8 @@ def _daemon_mode(parser, args):
         store_url=args.store_url,
         options=options,
         rank=args.rank,
+        refine=args.refine,
+        run_keep=args.prune_runs,
         jobs=args.jobs,
         worker_timeout=args.worker_timeout,
         poll_interval=args.poll_interval,
@@ -546,6 +586,9 @@ def _run(parser, args):
 
     if args.triage_suppress and not args.files:
         return _triage_record_mode(parser, args)
+
+    if args.prune_runs is not None and not args.files:
+        return _prune_runs_mode(parser, args)
 
     if args.cache_gc and not args.cache_dir and not args.store_url:
         parser.error("--cache-gc requires --cache-dir or --store-url")
@@ -700,8 +743,21 @@ def _run(parser, args):
     if len(triage):
         reports, __ = triage.apply(reports, stats=project.stats)
 
+    if args.refine:
+        from repro.cfg.fingerprint import fingerprint_tables
+        from repro.refine import apply_refine_mode, refine_reports
+
+        __, fingerprints = fingerprint_tables(project.callgraph)
+        refine_reports(reports, project.callgraph,
+                       stats=project.stats,
+                       backend=project.store_backend,
+                       fingerprints=fingerprints)
+
     reports = rank_reports(reports, args.rank,
                            result.log if result is not None else None)
+
+    if args.refine:
+        reports = apply_refine_mode(reports, args.refine)
 
     if args.record_run:
         from repro.reports.history import RunHistory, RunHistoryError
@@ -717,6 +773,22 @@ def _run(parser, args):
             print("xgcc: recorded run %s" % run_id, file=sys.stderr)
         except RunHistoryError as error:
             print("xgcc: run not recorded: %s" % error, file=sys.stderr)
+
+    if args.prune_runs is not None:
+        from repro.reports.history import RunHistory, RunHistoryError
+
+        backend = project.store_backend
+        if backend is None:
+            parser.error("--prune-runs requires --cache-dir or --store-url")
+        try:
+            deleted = RunHistory(backend, stats=project.stats).prune(
+                keep=args.prune_runs
+            )
+            if deleted:
+                print("xgcc: pruned %d stored run(s)" % deleted,
+                      file=sys.stderr)
+        except RunHistoryError as error:
+            print("xgcc: runs not pruned: %s" % error, file=sys.stderr)
 
     if args.report_json:
         from repro.driver.dump import reports_to_json

@@ -105,7 +105,8 @@ class XgccDaemon:
                  socket_path, files=(), include_paths=(), defines=None,
                  cache_dir=None, options=None, rank="severity", jobs=1,
                  worker_timeout=None, poll_interval=0.5, stats=None,
-                 file_reader=None, store_url=None):
+                 file_reader=None, store_url=None, refine=None,
+                 run_keep=None):
         self.watch_roots = [os.path.abspath(p) for p in watch_roots]
         self.extension_factory = extension_factory
         self.session = session
@@ -120,6 +121,13 @@ class XgccDaemon:
         self.store_url = store_url
         self.options = options
         self.rank = rank
+        #: ``--refine`` mode (None / "annotate" / "demote" / "drop");
+        #: verdicts reuse the store backend's cache tier, so warm
+        #: daemon re-analyses replay them instead of re-evaluating.
+        self.refine = refine
+        #: ``--prune-runs`` bound re-applied after every recorded run
+        #: (None = unbounded history).
+        self.run_keep = run_keep
         self.jobs = jobs
         self.worker_timeout = worker_timeout
         self.poll_interval = poll_interval
@@ -259,11 +267,12 @@ class XgccDaemon:
         self._ast_keys_seen.update(project.ast_keys_used)
         return project
 
-    def _ranked_text(self, result):
+    def _ranked_text(self, result, project=None):
         """The exact text a cold ``xgcc`` run would print for these
         reports under the daemon's ranking mode (byte-identity is the
         differential suite's contract): shared triage applied, then the
-        one ranking entry point, then the one text renderer."""
+        same refine hook, then the one ranking entry point, then the
+        one text renderer."""
         from repro.driver.dump import render_reports
         from repro.ranking import rank_reports
 
@@ -271,7 +280,19 @@ class XgccDaemon:
         triage = self._load_triage()
         if triage is not None and len(triage):
             reports, __ = triage.apply(reports, stats=self.stats)
+        if self.refine and project is not None:
+            from repro.cfg.fingerprint import fingerprint_tables
+            from repro.refine import refine_reports
+
+            __, fingerprints = fingerprint_tables(project.callgraph)
+            refine_reports(reports, project.callgraph, stats=self.stats,
+                           backend=self.backend(),
+                           fingerprints=fingerprints)
         reports = rank_reports(reports, self.rank, result.log)
+        if self.refine:
+            from repro.refine import apply_refine_mode
+
+            reports = apply_refine_mode(reports, self.refine)
         return render_reports(reports), reports
 
     def _record_run(self, reports):
@@ -292,6 +313,22 @@ class XgccDaemon:
                 "daemon", "run not recorded: %r" % err
             )
             return None
+
+    def _prune_runs(self):
+        """Re-apply the ``run_keep`` history bound; a failed prune
+        degrades (the analysis response still serves)."""
+        from repro.reports.history import RunHistory
+
+        backend = self.backend()
+        if backend is None:
+            return
+        try:
+            RunHistory(backend, stats=self.stats).prune(keep=self.run_keep)
+        except Exception as err:
+            self.stats.add("report_run_prune_errors")
+            self.stats.record_degradation(
+                "daemon", "runs not pruned: %r" % err
+            )
 
     def analyze(self, force=False):
         """One analysis round-trip: poll, rebuild, run, rank, cache.
@@ -328,10 +365,12 @@ class XgccDaemon:
             )
         if result.degraded:
             self.stats.record_engine_degradations(result.degraded)
-        text, reports = self._ranked_text(result)
+        text, reports = self._ranked_text(result, project)
         self._dirty = set()
         self._last_reports = reports
         run_id = self._record_run(reports)
+        if run_id is not None and self.run_keep is not None:
+            self._prune_runs()
         response = {
             "ok": True,
             "protocol": PROTOCOL_VERSION,

@@ -40,8 +40,14 @@ from contextlib import contextmanager
 #: ``report_json_dumps``), diffing (``diff_queries``), triage
 #: (``triage_suppressed``, ``triage_annotated``, ``triage_posts``,
 #: ``triage_load_errors``), and the HTTP report server
-#: (``report_server_requests``, ``report_server_errors``).
-SCHEMA_VERSION = 7
+#: (``report_server_requests``, ``report_server_errors``).  8: the
+#: path-feasibility refinement counters (docs/REFINE.md):
+#: ``refine_cache_hits`` (verdicts replayed from the store),
+#: ``refine_confirmed`` / ``refine_infeasible`` / ``refine_unknown``
+#: (per-verdict tallies), ``refine_budget_hits`` (verdicts degraded to
+#: unknown by a blown enumeration budget or injected fault), and
+#: ``report_run_prune_errors`` (failed ``--prune-runs`` sweeps).
+SCHEMA_VERSION = 8
 
 
 class DriverStats:

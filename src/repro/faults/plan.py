@@ -23,6 +23,7 @@ _SITES = frozenset([
     "cache.corrupt", "summary.corrupt", "summary.manifest", "engine.budget",
     "daemon.watcher", "daemon.request",
     "store.request", "store.conflict", "store.slow",
+    "refine.budget", "refine.error",
 ])
 
 

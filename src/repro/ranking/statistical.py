@@ -35,6 +35,20 @@ def rule_z_score(examples, counterexamples, p0=0.5):
     return z_statistic(n, examples, p0)
 
 
+#: Feasibility-verdict confidence tiers (repro.refine): a confirmed
+#: error path is stronger evidence than an unrefined one, an infeasible
+#: path weaker.  Reports without a verdict sit in the middle tier, so
+#: runs that never refined rank exactly as before.
+_VERDICT_CONFIDENCE = {"confirmed": 0, "infeasible": 2}
+
+
+def verdict_confidence(report):
+    """0 (confirmed) / 1 (no or unknown verdict) / 2 (infeasible)."""
+    doc = report.annotations.get("feasibility")
+    verdict = doc.get("verdict") if isinstance(doc, dict) else None
+    return _VERDICT_CONFIDENCE.get(verdict, 1)
+
+
 def rank_by_rule_reliability(reports, log, p0=0.5):
     """Sort reports by descending z-score of the rule that produced them.
 
@@ -42,10 +56,16 @@ def rank_by_rule_reliability(reports, log, p0=0.5):
     example/counterexample counters the checkers accumulated.  Reports from
     rules that are almost always followed float to the top; reports from
     rules the analysis mishandles (violated half the time) sink.
+
+    Refinement verdicts act as a confidence feature ahead of the
+    z-score: ``confirmed`` reports outrank unrefined ones, which outrank
+    ``infeasible`` ones.  Unrefined runs have every report in the middle
+    tier, leaving the historical pure-z order untouched.
     """
     def key(report):
         examples, counterexamples = log.rule_counts(report.rule_id)
-        return -rule_z_score(examples, counterexamples, p0)
+        return (verdict_confidence(report),
+                -rule_z_score(examples, counterexamples, p0))
 
     return sorted(reports, key=key)
 

@@ -1,0 +1,64 @@
+"""Path-feasibility refinement: slice + lightweight symbolic execution.
+
+The false-path pruner (§8) is syntactic and per-branch; Slabý et al.
+("On Synergy of Metal, Slicing, and Symbolic Execution", PAPERS.md)
+show the natural next stage: for each reported error path, slice the
+function to the statements the report depends on and symbolically
+execute the sliced paths to *confirm* or *demote* the report.  This
+package implements that stage with no SMT dependency: an interval +
+equality/congruence domain layered on the engine's own
+:class:`repro.engine.falsepath.PathConstraints`.
+
+Verdicts (docs/REFINE.md):
+
+``confirmed``
+    at least one enumerated path realizes the report's trace with a
+    consistent constraint state -- the error path is feasible under
+    the abstract domain.
+``infeasible``
+    path enumeration was exhaustive (no budget cut, loops covered by
+    the sound widening families), at least one path realizes the trace
+    syntactically, and *every* such path is contradictory.
+``unknown``
+    anything the evaluator will not vouch for: interprocedural
+    reports, budget/fault degradation, loop shapes outside the
+    widening scheme, or a trace the CFG model cannot re-anchor.
+
+Verdicts land in ``Report.annotations["feasibility"]`` and are cached
+in the store's summary tier keyed by (function fingerprint, report
+hash), so warm runs over an unchanged function replay verdicts instead
+of re-evaluating.
+"""
+
+from repro.refine.domain import Interval, RefineState
+from repro.refine.engine import (
+    REFINE_VERSION,
+    VERDICT_CONFIRMED,
+    VERDICT_INFEASIBLE,
+    VERDICT_UNKNOWN,
+    RefineOptions,
+    apply_refine_mode,
+    classify_report,
+    demote_infeasible,
+    drop_infeasible,
+    refine_reports,
+    verdict_of,
+)
+from repro.refine.slicing import relevant_variables
+
+__all__ = [
+    "Interval",
+    "RefineState",
+    "REFINE_VERSION",
+    "VERDICT_CONFIRMED",
+    "VERDICT_INFEASIBLE",
+    "VERDICT_UNKNOWN",
+    "RefineOptions",
+    "apply_refine_mode",
+    "classify_report",
+    "demote_infeasible",
+    "drop_infeasible",
+    "refine_reports",
+    "relevant_variables",
+    "verdict_of",
+]

@@ -1,0 +1,488 @@
+"""The refinement evaluator: anchor, enumerate, evaluate, classify.
+
+For one local :class:`repro.reports.model.Report` the pipeline is:
+
+1. **Anchor** -- the report's why-trace (§3.2) plus its error location
+   become an ordered list of source lines the candidate path must pass
+   through, in order.
+2. **Slice** -- :func:`repro.refine.slicing.relevant_variables` bounds
+   the variables the evaluator tracks.
+3. **Enumerate** -- a deterministic bounded DFS over the function's
+   CFG.  Loops are covered by three *path families* per loop head
+   (a block with ``havoc_vars``): the concrete zero-iteration path,
+   concrete non-revisiting paths (``break``), and one *widened*
+   family -- on the second arrival at the head the loop-assigned
+   variables are havocked (over-approximating any number of earlier
+   iterations) and the body edge is forced once more, then the third
+   arrival forces the exit edge, so the final iteration is evaluated
+   concretely.  Every real execution's observable post-loop state is
+   covered by some family, which is what makes ``infeasible`` claims
+   sound.  Shapes outside the scheme (do-while revisits, a fourth
+   arrival from nested loops, goto cycles) mark the enumeration
+   non-exhaustive and the verdict degrades to ``unknown``.
+4. **Evaluate** -- each path runs through a
+   :class:`repro.refine.domain.RefineState`.  A contradictory state
+   keeps walking *syntactically* (constraint updates stop) so the
+   evaluator can still tell "this trace is realizable in the CFG but
+   always contradictory" (-> ``infeasible``) apart from "the trace
+   never re-anchored at all" (-> ``unknown``).
+
+Verdicts are cached in the store's summary tier under
+``refine<version><fingerprint><report-hash>`` keys -- the function's
+Merkle fingerprint is part of the key because report hashes
+deliberately exclude function bodies, so an edit that preserves the
+hash must still invalidate the verdict.  Only ``confirmed`` and
+``infeasible`` are cached (``unknown`` re-evaluates, it may have been
+a budget artifact).  Fault sites: ``refine.budget`` (forces the
+per-report budget degradation) and ``refine.error`` (forces an
+evaluation error); both degrade the verdict to ``unknown``.
+"""
+
+import json
+import time
+
+from repro import faults
+from repro.cfg.blocks import ReturnMarker
+from repro.cfg.builder import build_cfg
+from repro.cfront import astnodes as ast
+from repro.refine.domain import RefineState
+from repro.refine.slicing import relevant_variables
+
+#: Bump to invalidate every cached verdict (domain or enumeration change).
+REFINE_VERSION = 1
+
+#: Verdicts ride in the store's summary tier next to function summaries.
+CACHE_TIER = "sum"
+
+VERDICT_CONFIRMED = "confirmed"
+VERDICT_INFEASIBLE = "infeasible"
+VERDICT_UNKNOWN = "unknown"
+
+#: Consult the wall clock every 64 steps, not every step.
+_TIME_CHECK_MASK = 63
+
+
+class RefineOptions:
+    """Budgets and knobs for one refinement pass.
+
+    The step budget is the *primary* bound -- it is deterministic, so
+    verdicts stay byte-identical across machines and job counts.  The
+    wall-clock budget is a safety net: blowing it degrades that
+    report's verdict to ``unknown`` (counted in ``refine_budget_hits``)
+    and the verdict is not cached.
+    """
+
+    def __init__(self, max_paths=256, max_steps=20000,
+                 max_block_visits=8, max_seconds_per_report=5.0,
+                 cache=True):
+        self.max_paths = max_paths
+        self.max_steps = max_steps
+        self.max_block_visits = max_block_visits
+        self.max_seconds_per_report = max_seconds_per_report
+        self.cache = cache
+
+
+class _Budget:
+    """Per-report enumeration budget; ``blown`` is the degradation
+    reason once any bound trips."""
+
+    def __init__(self, options):
+        self.options = options
+        self.steps = 0
+        self.paths = 0
+        cap = options.max_seconds_per_report
+        self.deadline = None if cap is None else time.monotonic() + cap
+        self.blown = None
+
+    def step(self):
+        self.steps += 1
+        if self.steps > self.options.max_steps:
+            self.blown = "budget-steps"
+        elif (
+            self.deadline is not None
+            and self.steps & _TIME_CHECK_MASK == 0
+            and time.monotonic() > self.deadline
+        ):
+            self.blown = "budget-time"
+        return self.blown is None
+
+    def path(self):
+        self.paths += 1
+        if self.paths > self.options.max_paths:
+            self.blown = "budget-paths"
+        return self.blown is None
+
+
+def _anchor_lines(report):
+    """The ordered source lines the candidate path must pass through:
+    the report's same-file trace steps plus its error location,
+    consecutive duplicates collapsed."""
+    lines = []
+    filename = report.location.filename
+    for __, location in report.trace:
+        if location is not None and location.filename == filename:
+            lines.append(location.line)
+    lines.append(report.location.line)
+    collapsed = []
+    for line in lines:
+        if not collapsed or collapsed[-1] != line:
+            collapsed.append(line)
+    return collapsed
+
+
+def _consume_anchors(anchors, index, line):
+    while index < len(anchors) and anchors[index] == line:
+        index += 1
+    return index
+
+
+def _apply_items(block, state, anchors, anchor_index, contradicted,
+                 local_names):
+    """Run one block's statements through ``state``; returns the
+    advanced anchor index.  A contradicted path keeps consuming anchors
+    (the walk stays syntactic) but stops updating constraints."""
+    for item in block.items:
+        location = getattr(item, "location", None)
+        if location is not None:
+            anchor_index = _consume_anchors(anchors, anchor_index,
+                                            location.line)
+        if contradicted:
+            continue
+        if isinstance(item, ast.VarDecl):
+            state.declare(item.name)
+            continue
+        if isinstance(item, ReturnMarker):
+            continue
+        for node in ast.execution_order(item):
+            if isinstance(node, ast.Assign):
+                state.assign_node(node)
+            elif isinstance(node, ast.Unary) and node.op in ("++", "--"):
+                state.incdec_node(node)
+            elif isinstance(node, ast.Call):
+                state.call_effects(node, local_names)
+    return anchor_index
+
+
+class _Enumeration:
+    """One report's bounded DFS over the function CFG."""
+
+    def __init__(self, cfg, anchors, relevant, options, budget):
+        self.cfg = cfg
+        self.anchors = anchors
+        self.options = options
+        self.budget = budget
+        self.local_names = cfg.local_names()
+        self.relevant = relevant
+        self.witness = False
+        self.realizable = 0
+        self.non_exhaustive = None
+
+    def run(self):
+        stack = [(self.cfg.entry, RefineState(self.relevant), {}, 0, False)]
+        while stack and not self.witness:
+            block, state, visits, anchor_index, contradicted = stack.pop()
+            if not self.budget.step():
+                return
+            visits = dict(visits)
+            count = visits.get(block.index, 0) + 1
+            visits[block.index] = count
+            is_head = bool(block.havoc_vars)
+            if is_head:
+                if block.branch_cond is None or not self._has_branch(block):
+                    if count >= 2:
+                        # do-while / goto revisit without a guarded head
+                        self.non_exhaustive = "loop-structure"
+                        continue
+                elif count == 2:
+                    if not contradicted:
+                        state.havoc(block.havoc_vars)
+                elif count >= 4:
+                    # nested re-entry beyond the widened family
+                    self.non_exhaustive = "loop-structure"
+                    continue
+            elif count > self.options.max_block_visits:
+                self.non_exhaustive = "revisit-cap"
+                continue
+            anchor_index = _apply_items(
+                block, state, self.anchors, anchor_index, contradicted,
+                self.local_names,
+            )
+            if not contradicted and state.infeasible:
+                contradicted = True
+            anchored = anchor_index >= len(self.anchors)
+            if contradicted and anchored:
+                self.realizable += 1
+                continue
+            if block.is_exit or not block.edges:
+                if not self.budget.path():
+                    return
+                if anchored and not contradicted:
+                    self.witness = True
+                continue
+            self._push_successors(stack, block, state, visits, anchor_index,
+                                  contradicted, count, is_head)
+
+    def _has_branch(self, block):
+        labels = {e.label for e in block.edges}
+        return True in labels and False in labels
+
+    def _push_successors(self, stack, block, state, visits, anchor_index,
+                         contradicted, count, is_head):
+        """Push successor frames in deterministic (source-edge) order."""
+        if block.branch_cond is not None and self._has_branch(block):
+            forced = None
+            if is_head and count == 2:
+                forced = True
+            elif is_head and count == 3:
+                forced = False
+            edges = [
+                e for e in block.edges
+                if e.label in (True, False)
+                and (forced is None or e.label is forced)
+            ]
+            branches = []
+            for edge in edges:
+                new_state = state.copy()
+                new_contradicted = contradicted
+                if not contradicted:
+                    new_state.assume(block.branch_cond, edge.label)
+                    if new_state.infeasible:
+                        new_contradicted = True
+                branches.append(
+                    (edge.target, new_state, visits, anchor_index,
+                     new_contradicted)
+                )
+            stack.extend(reversed(branches))
+            return
+        if block.switch_cond is not None:
+            case_values = [
+                e.label[1] for e in block.edges
+                if isinstance(e.label, tuple) and isinstance(e.label[1], int)
+            ]
+            branches = []
+            for edge in block.edges:
+                new_state = state.copy()
+                new_contradicted = contradicted
+                if not contradicted:
+                    if isinstance(edge.label, tuple) and \
+                            isinstance(edge.label[1], int):
+                        new_state.assume(
+                            ast.Binary("==", block.switch_cond,
+                                       ast.IntLit(edge.label[1])),
+                            True,
+                        )
+                    elif edge.label == "default":
+                        for value in case_values:
+                            new_state.assume(
+                                ast.Binary("==", block.switch_cond,
+                                           ast.IntLit(value)),
+                                False,
+                            )
+                    if new_state.infeasible:
+                        new_contradicted = True
+                branches.append(
+                    (edge.target, new_state, visits, anchor_index,
+                     new_contradicted)
+                )
+            stack.extend(reversed(branches))
+            return
+        branches = [
+            (edge.target, state.copy(), visits, anchor_index, contradicted)
+            for edge in block.edges
+        ]
+        stack.extend(reversed(branches))
+
+
+def classify_report(report, callgraph, options=None):
+    """One report's feasibility verdict: ``{"verdict", "reason"}``.
+
+    A pure function of the report and its function's body -- no
+    caching, no stats; :func:`refine_reports` layers those on top.
+    """
+    options = options or RefineOptions()
+    if not report.is_local:
+        return {"verdict": VERDICT_UNKNOWN, "reason": "interprocedural"}
+    decl = callgraph.functions.get(report.function)
+    if decl is None or not getattr(decl, "is_definition", False):
+        return {"verdict": VERDICT_UNKNOWN, "reason": "unknown-function"}
+    spec = faults.fires("refine.budget", key=report.function)
+    if spec is not None:
+        return {"verdict": VERDICT_UNKNOWN, "reason": "budget-injected"}
+    try:
+        spec = faults.fires("refine.error", key=report.function)
+        if spec is not None:
+            raise RuntimeError("injected refine fault")
+        cfg = build_cfg(decl)
+        anchors = _anchor_lines(report)
+        relevant = relevant_variables(cfg, anchors, report.variable)
+        budget = _Budget(options)
+        enum = _Enumeration(cfg, anchors, relevant, options, budget)
+        enum.run()
+    except RecursionError:
+        return {"verdict": VERDICT_UNKNOWN, "reason": "error"}
+    except Exception:
+        return {"verdict": VERDICT_UNKNOWN, "reason": "error"}
+    if enum.witness:
+        return {"verdict": VERDICT_CONFIRMED, "reason": "witness"}
+    if budget.blown is not None:
+        return {"verdict": VERDICT_UNKNOWN, "reason": budget.blown}
+    if enum.non_exhaustive is not None:
+        return {"verdict": VERDICT_UNKNOWN, "reason": enum.non_exhaustive}
+    if enum.realizable:
+        return {
+            "verdict": VERDICT_INFEASIBLE,
+            "reason": "all-paths-contradictory",
+        }
+    return {"verdict": VERDICT_UNKNOWN, "reason": "trace-not-realized"}
+
+
+def _cache_key(report, fingerprints):
+    """Store key for one report's verdict, or None if uncacheable.
+
+    The key binds the function's Merkle fingerprint (its own tokens
+    plus the transitive callee cone) as well as the stable report hash:
+    report hashes deliberately exclude function bodies, so an edit that
+    preserves the hash -- flipping a branch condition, say -- must
+    still invalidate the cached verdict.
+    """
+    if report.report_hash is None:
+        return None
+    fingerprint = (fingerprints or {}).get(report.function)
+    if fingerprint is None:
+        return None
+    return "refine%d%s%s" % (REFINE_VERSION, fingerprint, report.report_hash)
+
+
+def _load_cached(backend, keys):
+    """``{key: verdict_doc}`` for every cached, version-matched key."""
+    if backend is None or not keys:
+        return {}
+    try:
+        frames = backend.get_many(CACHE_TIER, sorted(keys))
+    except Exception:
+        return {}
+    out = {}
+    for key, data in frames.items():
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if (
+            isinstance(doc, dict)
+            and doc.get("refine_version") == REFINE_VERSION
+            and doc.get("verdict") in (VERDICT_CONFIRMED, VERDICT_INFEASIBLE)
+        ):
+            out[key] = {"verdict": doc["verdict"],
+                        "reason": doc.get("reason")}
+    return out
+
+
+def _store_cached(backend, payloads):
+    """Write fresh cacheable verdicts; store failures are non-fatal."""
+    if backend is None or not payloads:
+        return
+    frames = {}
+    for key, doc in payloads.items():
+        stored = dict(doc)
+        stored["refine_version"] = REFINE_VERSION
+        frames[key] = json.dumps(stored, sort_keys=True).encode("utf-8")
+    try:
+        backend.put_many(CACHE_TIER, frames)
+    except Exception:
+        return
+
+
+def refine_reports(reports, callgraph, options=None, stats=None,
+                   backend=None, fingerprints=None):
+    """Annotate every report with a feasibility verdict.
+
+    Verdicts land in ``report.annotations["feasibility"]``.  With
+    ``options.cache`` on, ``confirmed``/``infeasible`` verdicts are
+    served from and written back to ``backend`` under
+    (``fingerprints[report.function]``, ``report.report_hash``) keys;
+    ``unknown`` is never cached (it may be a budget artifact).
+    """
+    options = options or RefineOptions()
+
+    def count(name, amount=1):
+        if stats is not None:
+            stats.add(name, amount)
+
+    keys = {}
+    if options.cache:
+        for report in reports:
+            key = _cache_key(report, fingerprints)
+            if key is not None:
+                keys[id(report)] = key
+    cached = (_load_cached(backend, set(keys.values()))
+              if options.cache else {})
+    fresh = {}
+    for report in reports:
+        key = keys.get(id(report))
+        verdict = cached.get(key) if key is not None else None
+        if verdict is not None:
+            count("refine_cache_hits")
+        else:
+            verdict = classify_report(report, callgraph, options)
+            if (
+                options.cache
+                and key is not None
+                and verdict["verdict"] in (VERDICT_CONFIRMED,
+                                           VERDICT_INFEASIBLE)
+            ):
+                fresh[key] = verdict
+        report.annotations["feasibility"] = dict(verdict)
+        count("refine_%s" % verdict["verdict"])
+        if verdict["reason"] in ("budget-steps", "budget-paths",
+                                 "budget-time", "budget-injected"):
+            count("refine_budget_hits")
+    if options.cache:
+        _store_cached(backend, fresh)
+    return reports
+
+
+def verdict_of(report):
+    """The report's verdict string, or None if it was never refined."""
+    doc = report.annotations.get("feasibility")
+    if isinstance(doc, dict):
+        return doc.get("verdict")
+    return None
+
+
+def drop_infeasible(reports):
+    """The reports minus those with an ``infeasible`` verdict."""
+    return [r for r in reports if verdict_of(r) != VERDICT_INFEASIBLE]
+
+
+def demote_infeasible(reports):
+    """Move ``infeasible`` reports below the rest (both groups keep
+    their relative order) and renumber ``rank`` annotations."""
+    kept = [r for r in reports if verdict_of(r) != VERDICT_INFEASIBLE]
+    demoted = [r for r in reports if verdict_of(r) == VERDICT_INFEASIBLE]
+    if not demoted:
+        return reports
+    ranked = kept + demoted
+    for position, report in enumerate(ranked, 1):
+        if "rank" in report.annotations:
+            report.annotations["rank"] = position
+    return ranked
+
+
+def apply_refine_mode(reports, mode):
+    """Apply one ``--refine`` mode to an already-ranked report list.
+
+    ``annotate`` leaves the order untouched (verdicts ride along as
+    annotations only); ``demote`` sinks infeasible reports below the
+    rest; ``drop`` removes them and renumbers the survivors' ``rank``
+    annotations so rendered output stays 1-based and gapless.
+    """
+    if mode == "drop":
+        kept = drop_infeasible(reports)
+        if len(kept) != len(reports):
+            for position, report in enumerate(kept, 1):
+                if "rank" in report.annotations:
+                    report.annotations["rank"] = position
+        return kept
+    if mode == "demote":
+        return demote_infeasible(reports)
+    return reports

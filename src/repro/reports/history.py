@@ -157,7 +157,14 @@ class RunHistory:
     def resolve_run_id(self, token):
         """A user-supplied run token to a stored id: exact ids pass
         through, ``latest``/``HEAD`` picks the newest run, and any
-        unambiguous id prefix works."""
+        unambiguous id prefix works.  Blank tokens are rejected: an
+        empty prefix would match every stored run and, with exactly one
+        run recorded, silently resolve to it."""
+        if token is None or not token.strip():
+            raise RunHistoryError(
+                "blank run token (use 'latest', a run id, or an "
+                "unambiguous id prefix)"
+            )
         if token in ("latest", "HEAD"):
             run_id = self.latest_run_id()
             if run_id is None:
@@ -190,7 +197,8 @@ class RunHistory:
         "suppressed"}`` with report documents (not bare hashes) in each
         bucket, in their run's canonical order.
         """
-        base_docs = self.load_run(self.resolve_run_id(base_id))["reports"]
+        base_label = self.resolve_run_id(base_id)
+        base_docs = self.load_run(base_label)["reports"]
         if head_reports is not None:
             if any(r.report_hash is None for r in head_reports):
                 assign_report_hashes(head_reports)
@@ -210,7 +218,7 @@ class RunHistory:
             new -= suppressed_hashes
         self._count("diff_queries")
         return {
-            "base": base_id if head_reports is None else base_id,
+            "base": base_label,
             "head": head_label,
             "new": [d for d in head_docs if d.get("hash") in new],
             "resolved": [d for d in base_docs if d.get("hash") in resolved],
@@ -228,7 +236,15 @@ class RunHistory:
         return self.backend.delete_many(RUN_TIER, [run_id])
 
     def prune(self, keep=100):
-        """Drop the oldest runs beyond ``keep``; returns how many."""
+        """Drop the oldest runs beyond ``keep``; returns how many were
+        deleted.
+
+        ``keep=0`` deletes *every* stored run -- it is the explicit
+        empty-the-history bound, not a no-op, so pass it deliberately.
+        Negative keeps are rejected.
+        """
+        if keep < 0:
+            raise RunHistoryError("prune keep must be >= 0 (got %d)" % keep)
         ids = self.run_ids()
         stale = ids[:-keep] if keep else ids
         if stale:

@@ -504,7 +504,7 @@ class TestCacheGC:
         capsys.readouterr()
         assert rc == 0
         stats = json.loads(stats_path.read_text())
-        assert stats["schema_version"] == 7
+        assert stats["schema_version"] == 8
         assert stats["counters"]["gc_summary_frames_dropped"] == 1
         assert store.lookup(key) is None
 
